@@ -1,0 +1,143 @@
+//! Criterion micro-benchmarks: STM primitives, scheduler hook overhead,
+//! Bloom-filter prediction machinery and the theory simulators.
+//!
+//! These quantify the constant factors behind the figures (e.g. the
+//! paper's ~13 % single-thread Shrink overhead on the red-black tree);
+//! the full figure sweeps live in the `fig*` binaries.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shrink_core::{BloomFilter, SchedulerKind, Shrink, ShrinkConfig};
+use shrink_stm::{BackendKind, TVar, TmRuntime};
+use shrink_theory::{ats_makespan, restart_makespan, scenarios, serializer_makespan};
+use shrink_workloads::rbtree::TxRbTree;
+use shrink_workloads::stmbench7::{Sb7Config, Sb7Mix, Sb7Workload};
+use shrink_workloads::TxWorkload;
+
+fn stm_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm");
+    group.sample_size(30);
+    for backend in [BackendKind::Swiss, BackendKind::Tiny] {
+        let rt = TmRuntime::builder().backend(backend).build();
+        let v = TVar::new(0u64);
+        group.bench_function(format!("read_tx/{backend}"), |b| {
+            b.iter(|| rt.run(|tx| tx.read(black_box(&v))))
+        });
+        group.bench_function(format!("rmw_tx/{backend}"), |b| {
+            b.iter(|| rt.run(|tx| tx.modify(black_box(&v), |x| x + 1)))
+        });
+        let vars: Vec<TVar<u64>> = (0..32).map(TVar::new).collect();
+        group.bench_function(format!("scan32_tx/{backend}"), |b| {
+            b.iter(|| {
+                rt.run(|tx| {
+                    let mut sum = 0;
+                    for var in &vars {
+                        sum += tx.read(var)?;
+                    }
+                    Ok(sum)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn scheduler_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_overhead");
+    group.sample_size(30);
+    let kinds = [
+        SchedulerKind::Noop,
+        SchedulerKind::shrink_default(),
+        SchedulerKind::ats_default(),
+        SchedulerKind::Pool,
+    ];
+    for kind in kinds {
+        let rt = TmRuntime::builder().scheduler_arc(kind.build()).build();
+        let tree = TxRbTree::new();
+        for k in 0..512u64 {
+            rt.run(|tx| tree.insert(tx, k * 2, k));
+        }
+        let mut key = 0u64;
+        group.bench_function(format!("rbtree_lookup/{kind}"), |b| {
+            b.iter(|| {
+                key = (key + 37) % 1024;
+                rt.run(|tx| tree.get(tx, black_box(key)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bloom_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.sample_size(50);
+    group.bench_function("insert_contains", |b| {
+        let mut bf = BloomFilter::with_bits(8192, 2);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            bf.insert(shrink_stm::VarId::from_u64(id));
+            black_box(bf.contains(shrink_stm::VarId::from_u64(id / 2)))
+        })
+    });
+    group.bench_function("shrink_on_read_hook", |b| {
+        let shrink = Arc::new(Shrink::new(ShrinkConfig::default()));
+        let rt = TmRuntime::builder().scheduler_arc(shrink).build();
+        let vars: Vec<TVar<u64>> = (0..64).map(TVar::new).collect();
+        b.iter(|| {
+            rt.run(|tx| {
+                let mut sum = 0;
+                for var in &vars {
+                    sum += tx.read(var)?;
+                }
+                Ok(sum)
+            })
+        })
+    });
+    group.finish();
+}
+
+fn theory_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory");
+    group.sample_size(30);
+    group.bench_function("serializer_star_64", |b| {
+        let inst = scenarios::serializer_star(64);
+        b.iter(|| serializer_makespan(black_box(&inst)))
+    });
+    group.bench_function("ats_hub_64", |b| {
+        let inst = scenarios::ats_hub(64, 4);
+        b.iter(|| ats_makespan(black_box(&inst), 4))
+    });
+    group.bench_function("restart_random_12", |b| {
+        let inst = scenarios::random_instance(12, 4, 96, 5);
+        b.iter(|| restart_makespan(black_box(&inst)))
+    });
+    group.finish();
+}
+
+fn stmbench7_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stmbench7");
+    group.sample_size(20);
+    for mix in [Sb7Mix::ReadDominated, Sb7Mix::WriteDominated] {
+        let rt = TmRuntime::new();
+        let workload = Sb7Workload::new(&rt, Sb7Config::tiny(), mix);
+        let mut rng = rand::SeedableRng::seed_from_u64(7);
+        group.bench_function(format!("step/{mix}"), |b| {
+            b.iter(|| workload.step(&rt, 0, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    stm_primitives,
+    scheduler_overhead,
+    bloom_prediction,
+    theory_simulators,
+    stmbench7_ops
+);
+criterion_main!(benches);

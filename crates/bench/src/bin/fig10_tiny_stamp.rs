@@ -1,0 +1,14 @@
+//! Figure 10 (appendix): speedup of Shrink-TinySTM over base TinySTM on
+//! the ten STAMP configurations. The paper reports up to ~100x on
+//! intruder/vacation/yada in heavily overloaded runs, driven by base
+//! TinySTM's busy-waiting collapse.
+
+use shrink_bench::figures::{stamp_figure, stamp_summary};
+use shrink_bench::BenchOpts;
+use shrink_stm::{BackendKind, WaitPolicy};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let rows = stamp_figure("fig10", BackendKind::Tiny, WaitPolicy::Busy, &opts);
+    stamp_summary(&rows, 16);
+}

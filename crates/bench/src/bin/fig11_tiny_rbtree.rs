@@ -1,0 +1,44 @@
+//! Figure 11 (appendix): red-black-tree microbenchmark on TinySTM (busy
+//! waiting), base versus Shrink, at 20 % and 70 % update rates.
+//!
+//! The paper's observation: base TinySTM's throughput falls off a cliff
+//! once overloaded (busy-waiting burns whole scheduling quanta), while
+//! Shrink-TinySTM stays an order of magnitude above it.
+
+use shrink_bench::figures::{rbtree_figure, Variant};
+use shrink_bench::{shape, BenchOpts};
+use shrink_core::SchedulerKind;
+use shrink_stm::{BackendKind, WaitPolicy};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let variants = [
+        Variant {
+            label: "TinySTM",
+            kind: SchedulerKind::Noop,
+        },
+        Variant {
+            label: "Shrink-TinySTM",
+            kind: SchedulerKind::shrink_default(),
+        },
+    ];
+    let threads = opts.paper_threads();
+    let results = rbtree_figure(
+        "fig11",
+        BackendKind::Tiny,
+        WaitPolicy::Busy,
+        &[20, 70],
+        &variants,
+        &opts,
+    );
+    for (pct, series) in &results {
+        let last = threads.len() - 1;
+        shape(
+            &format!(
+                "{pct}% updates: Shrink-TinySTM at least matches base TinySTM at {} threads",
+                threads[last]
+            ),
+            series[1][last] >= series[0][last] * 0.9,
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 2: the lower-bound families for Serializer and ATS.
+//!
+//! Regenerates the makespans behind Figure 2(a) (Serializer on the star
+//! family: makespan n vs OPT 2) and Figure 2(b) (ATS on the hub family:
+//! makespan k + n − 1 vs OPT k + 1).
+
+use shrink_bench::{print_header, print_row, shape, BenchOpts};
+use shrink_theory::{ats_makespan, restart_makespan, scenarios, serializer_makespan};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let sizes: Vec<usize> = if opts.quick {
+        vec![4, 8, 16]
+    } else {
+        vec![4, 8, 16, 32, 64, 128, 256]
+    };
+
+    println!("== Figure 2(a): Serializer on the star family ==");
+    print_header("fig2a", &["n", "serializer", "restart", "opt", "ratio"]);
+    let mut serializer_linear = true;
+    for &n in &sizes {
+        let inst = scenarios::serializer_star(n);
+        let opt = inst.known_opt().expect("closed form");
+        let ser = serializer_makespan(&inst);
+        let res = restart_makespan(&inst);
+        print_row(
+            n,
+            &[
+                ser.makespan as f64,
+                res.makespan as f64,
+                opt as f64,
+                ser.ratio(opt),
+            ],
+        );
+        serializer_linear &= ser.makespan == n as u64;
+    }
+    shape(
+        "Serializer makespan grows as n while OPT stays 2 (Theorem 1)",
+        serializer_linear,
+    );
+
+    let k = 4u32;
+    println!();
+    println!("== Figure 2(b): ATS (k = {k}) on the hub family ==");
+    print_header("fig2b", &["n", "ats", "restart", "opt", "ratio"]);
+    let mut ats_linear = true;
+    for &n in &sizes {
+        let inst = scenarios::ats_hub(n, k as u64);
+        let opt = inst.known_opt().expect("closed form");
+        let ats = ats_makespan(&inst, k);
+        let res = restart_makespan(&inst);
+        print_row(
+            n,
+            &[
+                ats.makespan as f64,
+                res.makespan as f64,
+                opt as f64,
+                ats.ratio(opt),
+            ],
+        );
+        ats_linear &= ats.makespan == k as u64 + n as u64 - 1;
+    }
+    shape(
+        "ATS makespan is k + n - 1 while OPT stays k + 1 (Theorem 1)",
+        ats_linear,
+    );
+}

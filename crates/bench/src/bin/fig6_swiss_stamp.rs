@@ -1,0 +1,12 @@
+//! Figure 6: speedup of Shrink-SwissTM over base SwissTM on the ten STAMP
+//! configurations, underloaded (2/4/8 threads) and overloaded (16/32/64).
+
+use shrink_bench::figures::{stamp_figure, stamp_summary};
+use shrink_bench::BenchOpts;
+use shrink_stm::{BackendKind, WaitPolicy};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let rows = stamp_figure("fig6", BackendKind::Swiss, WaitPolicy::Preemptive, &opts);
+    stamp_summary(&rows, 16);
+}

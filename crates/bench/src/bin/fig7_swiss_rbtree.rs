@@ -1,0 +1,55 @@
+//! Figure 7: red-black-tree microbenchmark on SwissTM — base, Shrink and
+//! ATS, at 20 % and 70 % update rates over the 16384-key range.
+//!
+//! The microbenchmark exists to expose scheduler overhead: the paper
+//! measures ~13 % Shrink overhead at 1 thread shrinking to a few percent
+//! at 24 threads, while ATS pays substantially more.
+
+use shrink_bench::figures::{rbtree_figure, Variant};
+use shrink_bench::{shape, BenchOpts};
+use shrink_core::{AtsConfig, SchedulerKind};
+use shrink_stm::{BackendKind, WaitPolicy};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let variants = [
+        Variant {
+            label: "SwissTM",
+            kind: SchedulerKind::Noop,
+        },
+        Variant {
+            label: "Shrink-SwissTM",
+            kind: SchedulerKind::shrink_default(),
+        },
+        Variant {
+            label: "ATS-SwissTM",
+            kind: SchedulerKind::Ats(AtsConfig::default()),
+        },
+    ];
+    let threads = opts.paper_threads();
+    let results = rbtree_figure(
+        "fig7",
+        BackendKind::Swiss,
+        WaitPolicy::Preemptive,
+        &[20, 70],
+        &variants,
+        &opts,
+    );
+    for (pct, series) in &results {
+        let overhead_1t = 1.0 - series[1][0] / series[0][0].max(1e-9);
+        println!(
+            "Shrink overhead at {} thread(s), {pct}% updates: {:.1}%",
+            threads[0],
+            overhead_1t * 100.0
+        );
+        shape(
+            &format!("{pct}% updates: Shrink single-thread overhead is modest (paper: ~13%)"),
+            overhead_1t < 0.35,
+        );
+        let last = threads.len() - 1;
+        shape(
+            &format!("{pct}% updates: Shrink overhead shrinks as threads grow"),
+            series[1][last] >= series[0][last] * 0.8,
+        );
+    }
+}

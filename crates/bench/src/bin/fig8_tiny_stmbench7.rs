@@ -1,0 +1,33 @@
+//! Figure 8: TinySTM throughput on STMBench7 (busy waiting), base versus
+//! Shrink. The paper's headline: base TinySTM collapses once overloaded;
+//! Shrink keeps it alive (up to 32x at 24 threads, write-dominated).
+
+use shrink_bench::figures::{check_overload_shape, stmbench7_figure, Variant};
+use shrink_bench::BenchOpts;
+use shrink_core::SchedulerKind;
+use shrink_stm::{BackendKind, WaitPolicy};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let variants = [
+        Variant {
+            label: "TinySTM",
+            kind: SchedulerKind::Noop,
+        },
+        Variant {
+            label: "Shrink-TinySTM",
+            kind: SchedulerKind::shrink_default(),
+        },
+    ];
+    let threads = opts.paper_threads();
+    let results = stmbench7_figure(
+        "fig8",
+        BackendKind::Tiny,
+        WaitPolicy::Busy,
+        &variants,
+        &opts,
+    );
+    for (mix, series) in &results {
+        check_overload_shape(&format!("{mix}"), &threads, &series[0], &series[1]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 9 (appendix): SwissTM with **busy waiting** on STMBench7, base
+//! versus Shrink. With busy waiting the base TM's throughput drops steeply
+//! once threads exceed cores; Shrink-SwissTM holds its throughput.
+
+use shrink_bench::figures::{check_overload_shape, stmbench7_figure, Variant};
+use shrink_bench::BenchOpts;
+use shrink_core::SchedulerKind;
+use shrink_stm::{BackendKind, WaitPolicy};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let variants = [
+        Variant {
+            label: "SwissTM",
+            kind: SchedulerKind::Noop,
+        },
+        Variant {
+            label: "Shrink-SwissTM",
+            kind: SchedulerKind::shrink_default(),
+        },
+    ];
+    let threads = opts.paper_threads();
+    let results = stmbench7_figure(
+        "fig9",
+        BackendKind::Swiss,
+        WaitPolicy::Busy,
+        &variants,
+        &opts,
+    );
+    for (mix, series) in &results {
+        check_overload_shape(&format!("{mix}"), &threads, &series[0], &series[1]);
+    }
+}

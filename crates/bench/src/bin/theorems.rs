@@ -1,0 +1,90 @@
+//! Theorems 1–3: competitive-ratio sweeps for every scheduler of Section 2.
+//!
+//! Prints, for growing instance sizes, the ratio of each scheduler's
+//! makespan to the offline optimum:
+//!
+//! * Serializer and ATS grow linearly in n (Theorem 1);
+//! * Restart stays at or below 2 (Theorem 2);
+//! * Inaccurate grows as n despite running Restart's algorithm (Theorem 3);
+//! * Greedy (Motwani et al.) stays at or below 3, for reference.
+
+use shrink_bench::{print_header, shape, BenchOpts};
+use shrink_theory::competitive;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let family_sizes: Vec<usize> = if opts.quick {
+        vec![4, 8, 16]
+    } else {
+        vec![4, 8, 16, 32, 64, 128]
+    };
+    // Restart/Greedy run against the exact offline optimum, so their
+    // random instances stay within the exact solver's reach.
+    let random_sizes: Vec<usize> = vec![4, 6, 8, 10, 12];
+    let ats_k = 4;
+
+    println!("== Theorem 1: Serializer is O(n)-competitive (star family) ==");
+    print_header("serializer", &["n", "ratio"]);
+    let serializer = competitive::serializer_sweep(&family_sizes);
+    for p in &serializer {
+        println!("{}", p);
+    }
+    shape(
+        "Serializer ratio == n/2 on the star family",
+        serializer
+            .iter()
+            .all(|p| (p.ratio - p.n as f64 / 2.0).abs() < 1e-9),
+    );
+
+    println!();
+    println!("== Theorem 1: ATS is O(n)-competitive (hub family, k = {ats_k}) ==");
+    let ats = competitive::ats_sweep(&family_sizes, ats_k);
+    for p in &ats {
+        println!("{}", p);
+    }
+    shape(
+        "ATS ratio == (k+n-1)/(k+1) on the hub family",
+        ats.iter().all(|p| {
+            let expected = (ats_k as f64 + p.n as f64 - 1.0) / (ats_k as f64 + 1.0);
+            (p.ratio - expected).abs() < 1e-9
+        }),
+    );
+
+    println!();
+    println!("== Theorem 2: Restart is 2-competitive (random instances) ==");
+    println!("# note: the opt column is the exact optimal *batch* makespan, an upper");
+    println!("# bound on the unrestricted optimum; staggered-start schedules (Greedy)");
+    println!("# can therefore show ratios slightly below 1.");
+    let restart = competitive::restart_sweep(&random_sizes, 0xC0DE);
+    for p in &restart {
+        println!("{}", p);
+    }
+    shape(
+        "Restart ratio <= 2 everywhere",
+        restart.iter().all(|p| p.ratio <= 2.0 + 1e-9),
+    );
+
+    println!();
+    println!("== Theorem 3: Inaccurate is O(n)-competitive (independent family) ==");
+    let inaccurate = competitive::inaccurate_sweep(&family_sizes);
+    for p in &inaccurate {
+        println!("{}", p);
+    }
+    shape(
+        "Inaccurate ratio == n with the all-share-R1 belief",
+        inaccurate
+            .iter()
+            .all(|p| (p.ratio - p.n as f64).abs() < 1e-9),
+    );
+
+    println!();
+    println!("== Reference: Greedy (Motwani et al., 3-competitive) ==");
+    let greedy = competitive::greedy_sweep(&random_sizes, 0xC0DE);
+    for p in &greedy {
+        println!("{}", p);
+    }
+    shape(
+        "Greedy ratio <= 3 everywhere",
+        greedy.iter().all(|p| p.ratio <= 3.0 + 1e-9),
+    );
+}

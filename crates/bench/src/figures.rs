@@ -1,0 +1,207 @@
+//! Shared drivers for the throughput figures.
+//!
+//! Figures 5, 8 and 9 are STMBench7 thread sweeps under different
+//! backend/wait/scheduler matrices; Figures 7 and 11 are the same over the
+//! red-black-tree microbenchmark; Figures 6 and 10 are STAMP speedup
+//! panels. The drivers here take the variant matrix and print the series
+//! plus the paper's qualitative shape checks.
+
+use std::sync::Arc;
+
+use shrink_core::SchedulerKind;
+use shrink_stm::{BackendKind, TmRuntime, WaitPolicy};
+use shrink_workloads::harness::TxWorkload;
+use shrink_workloads::rbtree::RbTreeWorkload;
+use shrink_workloads::stamp;
+use shrink_workloads::stmbench7::{Sb7Config, Sb7Mix, Sb7Workload};
+
+use crate::{geomean, measure_cell, print_header, print_row, shape, BenchOpts};
+
+/// One scheduler variant in a figure.
+pub struct Variant {
+    /// Column label (e.g. "SwissTM", "Shrink-SwissTM").
+    pub label: &'static str,
+    /// The scheduler behind the column.
+    pub kind: SchedulerKind,
+}
+
+/// Measured throughput series: `series[variant][thread_index]`.
+pub type Series = Vec<Vec<f64>>;
+
+/// Runs an STMBench7 thread sweep for every mix and variant; returns the
+/// per-mix series for shape checking.
+pub fn stmbench7_figure(
+    figure: &str,
+    backend: BackendKind,
+    wait: WaitPolicy,
+    variants: &[Variant],
+    opts: &BenchOpts,
+) -> Vec<(Sb7Mix, Series)> {
+    let threads = opts.paper_threads();
+    let mut all = Vec::new();
+    for mix in Sb7Mix::all() {
+        println!("== {figure}: STMBench7 {mix} ({backend}, {wait} waiting) ==");
+        let mut columns = vec!["threads"];
+        columns.extend(variants.iter().map(|v| v.label));
+        print_header(figure, &columns);
+        let mut series: Series = vec![Vec::new(); variants.len()];
+        for &t in &threads {
+            let mut row = Vec::new();
+            for (vi, variant) in variants.iter().enumerate() {
+                let outcome = measure_cell(
+                    backend,
+                    wait,
+                    &variant.kind,
+                    |rt| -> Arc<dyn TxWorkload> {
+                        Arc::new(Sb7Workload::new(rt, Sb7Config::default(), mix))
+                    },
+                    &opts.run_config(t),
+                );
+                row.push(outcome.throughput());
+                series[vi].push(outcome.throughput());
+            }
+            print_row(t, &row);
+        }
+        println!();
+        all.push((mix, series));
+    }
+    all
+}
+
+/// Runs a red-black-tree thread sweep (key range 16384) for the given
+/// update percentages and variants.
+pub fn rbtree_figure(
+    figure: &str,
+    backend: BackendKind,
+    wait: WaitPolicy,
+    update_pcts: &[u32],
+    variants: &[Variant],
+    opts: &BenchOpts,
+) -> Vec<(u32, Series)> {
+    let threads = opts.paper_threads();
+    let key_range = 16384;
+    let mut all = Vec::new();
+    for &pct in update_pcts {
+        println!("== {figure}: red-black tree, {pct}% updates ({backend}, {wait} waiting) ==");
+        let mut columns = vec!["threads"];
+        columns.extend(variants.iter().map(|v| v.label));
+        print_header(figure, &columns);
+        let mut series: Series = vec![Vec::new(); variants.len()];
+        for &t in &threads {
+            let mut row = Vec::new();
+            for (vi, variant) in variants.iter().enumerate() {
+                let outcome = measure_cell(
+                    backend,
+                    wait,
+                    &variant.kind,
+                    |rt| -> Arc<dyn TxWorkload> {
+                        Arc::new(RbTreeWorkload::new(rt, key_range, pct))
+                    },
+                    &opts.run_config(t),
+                );
+                row.push(outcome.throughput());
+                series[vi].push(outcome.throughput());
+            }
+            print_row(t, &row);
+        }
+        println!();
+        all.push((pct, series));
+    }
+    all
+}
+
+/// Runs the STAMP speedup panels: Shrink vs base on every configuration,
+/// for the underloaded and overloaded thread sets. Returns
+/// `(name, threads, speedup)` rows.
+pub fn stamp_figure(
+    figure: &str,
+    backend: BackendKind,
+    wait: WaitPolicy,
+    opts: &BenchOpts,
+) -> Vec<(&'static str, usize, f64)> {
+    let (under, over) = opts.stamp_threads();
+    let mut rows = Vec::new();
+    for (panel, threads) in [("underloaded", &under), ("overloaded", &over)] {
+        if threads.is_empty() {
+            continue;
+        }
+        println!("== {figure}: STAMP speedup of Shrink over base, {panel} ({backend}) ==");
+        let mut columns = vec!["config"];
+        let thread_labels: Vec<String> = threads.iter().map(|t| format!("{t}t")).collect();
+        columns.extend(thread_labels.iter().map(|s| s.as_str()));
+        println!("# {}", columns.join(" "));
+        for name in stamp::STAMP_NAMES {
+            print!("{name:>14}");
+            for &t in threads {
+                let base = measure_cell(
+                    backend,
+                    wait,
+                    &SchedulerKind::Noop,
+                    |rt: &TmRuntime| stamp::build(name, rt),
+                    &opts.run_config(t),
+                );
+                let shrink = measure_cell(
+                    backend,
+                    wait,
+                    &SchedulerKind::shrink_default(),
+                    |rt: &TmRuntime| stamp::build(name, rt),
+                    &opts.run_config(t),
+                );
+                let speedup = if base.throughput() > 0.0 {
+                    shrink.throughput() / base.throughput()
+                } else {
+                    1.0
+                };
+                print!(" {speedup:>9.3}");
+                rows.push((name, t, speedup));
+            }
+            println!();
+        }
+        println!();
+    }
+    rows
+}
+
+/// Standard shape checks for a base-vs-Shrink throughput figure: Shrink
+/// comparable when underloaded, ahead when heavily overloaded.
+pub fn check_overload_shape(what: &str, threads: &[usize], base: &[f64], shrink: &[f64]) {
+    if threads.len() < 2 {
+        return;
+    }
+    let last = threads.len() - 1;
+    shape(
+        &format!("{what}: Shrink within 2x of base at {} threads", threads[0]),
+        shrink[0] >= base[0] * 0.5,
+    );
+    shape(
+        &format!(
+            "{what}: Shrink >= 0.9x base at {} threads (overloaded)",
+            threads[last]
+        ),
+        shrink[last] >= base[last] * 0.9,
+    );
+}
+
+/// Summarizes a STAMP speedup table with its geometric means.
+pub fn stamp_summary(rows: &[(&'static str, usize, f64)], overload_from: usize) {
+    let under: Vec<f64> = rows
+        .iter()
+        .filter(|(_, t, _)| *t < overload_from)
+        .map(|&(_, _, s)| s)
+        .collect();
+    let over: Vec<f64> = rows
+        .iter()
+        .filter(|(_, t, _)| *t >= overload_from)
+        .map(|&(_, _, s)| s)
+        .collect();
+    if !under.is_empty() {
+        println!("geomean speedup underloaded: {:.3}", geomean(&under));
+    }
+    if !over.is_empty() {
+        println!("geomean speedup overloaded:  {:.3}", geomean(&over));
+        shape(
+            "Shrink helps more when overloaded than underloaded",
+            under.is_empty() || geomean(&over) >= geomean(&under) * 0.95,
+        );
+    }
+}

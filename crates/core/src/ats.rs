@@ -1,0 +1,199 @@
+//! Adaptive Transaction Scheduling (ATS), after Yoo & Lee (SPAA 2008).
+//!
+//! ATS measures each thread's *contention intensity* as an exponential
+//! moving average over transaction outcomes: `ci = α·ci + (1−α)` on abort,
+//! `ci = α·ci` on commit. When the intensity exceeds a threshold the thread
+//! is dispatched through a global serialization queue; when it falls back
+//! below, the thread runs freely again.
+//!
+//! The paper uses ATS as the representative of coarse serializing schedulers
+//! (CAR-STM, Steal-on-abort): it reacts to *how often* a thread aborts, not
+//! to *what* it is about to access, which is why it keeps serializing even
+//! when the cause of past conflicts has gone away (Theorem 1 builds the
+//! O(n) lower-bound family from exactly this behaviour).
+
+use std::fmt;
+
+use parking_lot::Mutex;
+use shrink_stm::{Abort, SchedCtx, ThreadId, TxScheduler, VarId};
+
+use crate::serial_lock::SerialLock;
+use crate::slots::ThreadSlots;
+
+/// Tuning parameters of [`Ats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AtsConfig {
+    /// Smoothing factor of the contention-intensity moving average.
+    pub alpha: f64,
+    /// Intensity above which a thread serializes.
+    pub threshold: f64,
+}
+
+impl Default for AtsConfig {
+    fn default() -> Self {
+        // Yoo & Lee report 0.3–0.5 as robust thresholds; α = 0.75 weights
+        // recent outcomes heavily, matching their reference implementation.
+        AtsConfig {
+            alpha: 0.75,
+            threshold: 0.5,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    contention_intensity: f64,
+}
+
+/// The ATS scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_core::{Ats, AtsConfig};
+/// use shrink_stm::TmRuntime;
+///
+/// let rt = TmRuntime::builder()
+///     .scheduler(Ats::new(AtsConfig::default()))
+///     .build();
+/// assert_eq!(rt.scheduler_name(), "ats");
+/// ```
+pub struct Ats {
+    config: AtsConfig,
+    lock: SerialLock,
+    threads: ThreadSlots<Mutex<ThreadState>>,
+}
+
+impl Ats {
+    /// Creates an ATS scheduler.
+    pub fn new(config: AtsConfig) -> Self {
+        Ats {
+            config,
+            lock: SerialLock::new(),
+            threads: ThreadSlots::new(|| {
+                Mutex::new(ThreadState {
+                    contention_intensity: 0.0,
+                })
+            }),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AtsConfig {
+        &self.config
+    }
+
+    /// The current contention intensity of `thread`, if it has state.
+    pub fn contention_intensity(&self, thread: ThreadId) -> Option<f64> {
+        self.threads
+            .try_get(thread)
+            .map(|s| s.lock().contention_intensity)
+    }
+
+    /// Number of threads currently serialized.
+    pub fn wait_count(&self) -> u32 {
+        self.lock.wait_count()
+    }
+}
+
+impl fmt::Debug for Ats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ats").field("config", &self.config).finish()
+    }
+}
+
+impl TxScheduler for Ats {
+    fn before_start(&self, ctx: &SchedCtx<'_>) {
+        let slot = self.threads.get(ctx.thread);
+        let serialized = slot.lock().contention_intensity > self.config.threshold;
+        if serialized {
+            self.lock.acquire(ctx.thread);
+        }
+    }
+
+    fn on_commit(&self, ctx: &SchedCtx<'_>, _reads: &[VarId], _writes: &[VarId]) {
+        let slot = self.threads.get(ctx.thread);
+        {
+            let mut s = slot.lock();
+            s.contention_intensity *= self.config.alpha;
+        }
+        self.lock.release_if_held(ctx.thread);
+    }
+
+    fn on_abort(&self, ctx: &SchedCtx<'_>, _abort: &Abort, _reads: &[VarId], _writes: &[VarId]) {
+        let slot = self.threads.get(ctx.thread);
+        {
+            let mut s = slot.lock();
+            s.contention_intensity =
+                self.config.alpha * s.contention_intensity + (1.0 - self.config.alpha);
+        }
+        self.lock.release_if_held(ctx.thread);
+    }
+
+    fn name(&self) -> &str {
+        "ats"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrink_stm::{AbortReason, StaticWrites};
+
+    fn ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
+        SchedCtx {
+            thread: ThreadId::from_u16(thread),
+            visible: oracle,
+        }
+    }
+
+    #[test]
+    fn intensity_rises_on_abort_and_decays_on_commit() {
+        let ats = Ats::new(AtsConfig::default());
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        let t = ThreadId::from_u16(1);
+        ats.before_start(&c);
+        ats.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        assert!((ats.contention_intensity(t).unwrap() - 0.25).abs() < 1e-12);
+        ats.before_start(&c);
+        ats.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        let after_two = ats.contention_intensity(t).unwrap();
+        assert!(after_two > 0.4);
+        ats.before_start(&c);
+        ats.on_commit(&c, &[], &[]);
+        assert!(ats.contention_intensity(t).unwrap() < after_two);
+    }
+
+    #[test]
+    fn serializes_once_over_threshold_and_releases() {
+        let ats = Ats::new(AtsConfig {
+            alpha: 0.5,
+            threshold: 0.4,
+        });
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        // Two aborts with alpha 0.5: ci = 0.5, over threshold.
+        for _ in 0..2 {
+            ats.before_start(&c);
+            ats.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        }
+        assert_eq!(ats.wait_count(), 0);
+        ats.before_start(&c);
+        assert_eq!(ats.wait_count(), 1, "high intensity must serialize");
+        ats.on_commit(&c, &[], &[]);
+        assert_eq!(ats.wait_count(), 0, "commit releases the queue");
+    }
+
+    #[test]
+    fn repeated_commits_keep_thread_free() {
+        let ats = Ats::new(AtsConfig::default());
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        for _ in 0..20 {
+            ats.before_start(&c);
+            assert_eq!(ats.wait_count(), 0);
+            ats.on_commit(&c, &[], &[]);
+        }
+    }
+}

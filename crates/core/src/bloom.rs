@@ -1,0 +1,314 @@
+//! Bloom filters over variable identifiers.
+//!
+//! Shrink "maintains the read set of past few committed transactions of each
+//! thread in a set of Bloom filters", which "provide a fast means to insert
+//! addresses, and to check the membership of an address". This module is
+//! that representation: a fixed-size bit array with `k` indices derived from
+//! one 64-bit mix of the [`VarId`].
+
+use std::fmt;
+
+use shrink_stm::VarId;
+
+/// A fixed-size Bloom filter of [`VarId`]s.
+///
+/// No false negatives; false-positive rate is governed by the bit size and
+/// the number of inserted elements. The default geometry (8192 bits, 2
+/// probes) keeps the rate below ~2 % for the read-set sizes of the paper's
+/// benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_core::bloom::BloomFilter;
+/// use shrink_stm::VarId;
+///
+/// let mut bf = BloomFilter::with_bits(1024, 2);
+/// let v = VarId::from_u64(42);
+/// assert!(!bf.contains(v));
+/// bf.insert(v);
+/// assert!(bf.contains(v));
+/// ```
+#[derive(Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: u64,
+    probes: u32,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `bits` bits (rounded up to a power of two,
+    /// minimum 64) and `probes` hash probes (clamped to 1..=8).
+    pub fn with_bits(bits: usize, probes: u32) -> Self {
+        let bits = bits.next_power_of_two().max(64);
+        BloomFilter {
+            bits: vec![0; bits / 64],
+            mask: (bits - 1) as u64,
+            probes: probes.clamp(1, 8),
+            inserted: 0,
+        }
+    }
+
+    /// The number of bits in the filter.
+    pub fn bit_len(&self) -> usize {
+        self.bits.len() * 64
+    }
+
+    /// How many insertions the filter has absorbed (not distinct elements).
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Computes the probe positions into a stack buffer (no allocation —
+    /// this sits on the per-read hot path of the Shrink scheduler).
+    #[inline]
+    fn probe_positions(&self, var: VarId) -> ([u64; 8], usize) {
+        // Two independent 64-bit mixes combined Kirsch-Mitzenmacher style.
+        let x = var.as_u64();
+        let h1 = splitmix64(x);
+        let h2 = splitmix64(x ^ 0x9E37_79B9_7F4A_7C15) | 1;
+        let mut out = [0u64; 8];
+        for (i, slot) in out.iter_mut().take(self.probes as usize).enumerate() {
+            *slot = h1.wrapping_add((i as u64).wrapping_mul(h2)) & self.mask;
+        }
+        (out, self.probes as usize)
+    }
+
+    /// Inserts `var`.
+    pub fn insert(&mut self, var: VarId) {
+        let (positions, n) = self.probe_positions(var);
+        for &pos in &positions[..n] {
+            self.bits[(pos / 64) as usize] |= 1 << (pos % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Inserts `var`, returning `true` if it was (probably) absent —
+    /// one probe-position computation for the combined test-and-set.
+    pub fn insert_if_absent(&mut self, var: VarId) -> bool {
+        let (positions, n) = self.probe_positions(var);
+        let mut was_present = true;
+        for &pos in &positions[..n] {
+            let word = &mut self.bits[(pos / 64) as usize];
+            let bit = 1 << (pos % 64);
+            if *word & bit == 0 {
+                was_present = false;
+                *word |= bit;
+            }
+        }
+        if !was_present {
+            self.inserted += 1;
+        }
+        !was_present
+    }
+
+    /// True if `var` may have been inserted (no false negatives).
+    pub fn contains(&self, var: VarId) -> bool {
+        let (positions, n) = self.probe_positions(var);
+        positions[..n]
+            .iter()
+            .all(|&pos| self.bits[(pos / 64) as usize] & (1 << (pos % 64)) != 0)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+
+    /// Fraction of set bits, a cheap saturation indicator.
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.bit_len() as f64
+    }
+}
+
+impl fmt::Debug for BloomFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BloomFilter")
+            .field("bits", &self.bit_len())
+            .field("probes", &self.probes)
+            .field("inserted", &self.inserted)
+            .finish()
+    }
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A ring of Bloom filters covering the last `window` transactions of a
+/// thread, with per-age confidence weights — Shrink's read-set predictor
+/// memory.
+///
+/// `filters()[0]` is the current transaction's filter (`bf0` in the paper's
+/// Algorithm 1); index `i` is the transaction `i` completions ago.
+#[derive(Clone, Debug)]
+pub struct BloomRing {
+    filters: Vec<BloomFilter>,
+    bits: usize,
+    probes: u32,
+}
+
+impl BloomRing {
+    /// Creates a ring of `window` filters of identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize, bits: usize, probes: u32) -> Self {
+        assert!(window > 0, "locality window must be at least 1");
+        BloomRing {
+            filters: (0..window)
+                .map(|_| BloomFilter::with_bits(bits, probes))
+                .collect(),
+            bits,
+            probes,
+        }
+    }
+
+    /// The locality window (number of remembered transactions).
+    pub fn window(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// The current transaction's filter.
+    pub fn current(&self) -> &BloomFilter {
+        &self.filters[0]
+    }
+
+    /// Mutable access to the current transaction's filter.
+    pub fn current_mut(&mut self) -> &mut BloomFilter {
+        &mut self.filters[0]
+    }
+
+    /// The filter of the transaction `age` completions ago (`age` ≥ 1).
+    pub fn past(&self, age: usize) -> &BloomFilter {
+        &self.filters[age]
+    }
+
+    /// Sums the confidence weights `weights[age-1]` of every past filter
+    /// containing `var` — the paper's per-address confidence.
+    pub fn confidence(&self, var: VarId, weights: &[u32]) -> u32 {
+        let mut confidence = 0;
+        for (age, filter) in self.filters.iter().enumerate().skip(1) {
+            if filter.contains(var) {
+                confidence += weights.get(age - 1).copied().unwrap_or(0);
+            }
+        }
+        confidence
+    }
+
+    /// Finishes the current transaction: ages every filter by one and
+    /// installs a fresh `bf0`.
+    pub fn rotate(&mut self) {
+        let mut recycled = self.filters.pop().expect("window >= 1");
+        recycled.clear();
+        self.filters.insert(0, recycled);
+        debug_assert_eq!(
+            self.bits.next_power_of_two().max(64),
+            self.filters[0].bit_len()
+        );
+        debug_assert_eq!(self.probes.clamp(1, 8), self.filters[0].probes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(raw: u64) -> VarId {
+        VarId::from_u64(raw)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::with_bits(4096, 2);
+        for i in 0..500 {
+            bf.insert(v(i));
+        }
+        for i in 0..500 {
+            assert!(bf.contains(v(i)), "inserted element {i} must be present");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_design_load() {
+        let mut bf = BloomFilter::with_bits(8192, 2);
+        for i in 0..500 {
+            bf.insert(v(i));
+        }
+        let false_positives = (10_000..20_000).filter(|&i| bf.contains(v(i))).count();
+        let rate = false_positives as f64 / 10_000.0;
+        assert!(rate < 0.05, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn clear_empties_the_filter() {
+        let mut bf = BloomFilter::with_bits(1024, 2);
+        bf.insert(v(1));
+        assert!(bf.fill_ratio() > 0.0);
+        bf.clear();
+        assert!(!bf.contains(v(1)));
+        assert_eq!(bf.inserted(), 0);
+        assert_eq!(bf.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn geometry_is_normalized() {
+        let bf = BloomFilter::with_bits(1000, 20);
+        assert_eq!(bf.bit_len(), 1024);
+        let bf = BloomFilter::with_bits(0, 0);
+        assert_eq!(bf.bit_len(), 64);
+    }
+
+    #[test]
+    fn ring_confidence_weights_by_age() {
+        // Paper constants: window 4, weights c1=3, c2=2, c3=1, threshold 3.
+        let mut ring = BloomRing::new(4, 1024, 2);
+        let weights = [3, 2, 1];
+        let addr = v(77);
+
+        // Read in the current tx only: no past evidence.
+        ring.current_mut().insert(addr);
+        assert_eq!(ring.confidence(addr, &weights), 0);
+
+        // One rotation: the read is now "one tx ago" => confidence 3.
+        ring.rotate();
+        assert_eq!(ring.confidence(addr, &weights), 3);
+
+        // Two more rotations: "three tx ago" => confidence 1.
+        ring.rotate();
+        ring.rotate();
+        assert_eq!(ring.confidence(addr, &weights), 1);
+
+        // Fourth rotation: evidence falls out of the window.
+        ring.rotate();
+        assert_eq!(ring.confidence(addr, &weights), 0);
+    }
+
+    #[test]
+    fn ring_accumulates_across_adjacent_transactions() {
+        let mut ring = BloomRing::new(4, 1024, 2);
+        let weights = [3, 2, 1];
+        let addr = v(5);
+        // Read in two consecutive transactions.
+        ring.current_mut().insert(addr);
+        ring.rotate();
+        ring.current_mut().insert(addr);
+        ring.rotate();
+        // Present 1 tx ago (3) and 2 tx ago (2).
+        assert_eq!(ring.confidence(addr, &weights), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_window_is_rejected() {
+        let _ = BloomRing::new(0, 64, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! The Pool scheduler: serialize every transaction that faces contention.
+//!
+//! The paper builds Pool as a measurement instrument: "to understand the
+//! performance tradeoff associated with serialization, we built a simple TM
+//! scheduler that serializes all threads that face contention". A thread
+//! that aborts runs its retry through the global lock; a commit sets it free
+//! again. Comparing Pool against base and Shrink variants (Figure 5) is what
+//! motivates the serialization-affinity heuristic.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use shrink_stm::{Abort, SchedCtx, TxScheduler, VarId};
+
+use crate::serial_lock::SerialLock;
+use crate::slots::ThreadSlots;
+
+/// The Pool scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_core::Pool;
+/// use shrink_stm::TmRuntime;
+///
+/// let rt = TmRuntime::builder().scheduler(Pool::new()).build();
+/// assert_eq!(rt.scheduler_name(), "pool");
+/// ```
+pub struct Pool {
+    lock: SerialLock,
+    contended: ThreadSlots<AtomicBool>,
+}
+
+impl Pool {
+    /// Creates a Pool scheduler.
+    pub fn new() -> Self {
+        Pool {
+            lock: SerialLock::new(),
+            contended: ThreadSlots::new(|| AtomicBool::new(false)),
+        }
+    }
+
+    /// Number of threads currently serialized.
+    pub fn wait_count(&self) -> u32 {
+        self.lock.wait_count()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool")
+            .field("wait_count", &self.wait_count())
+            .finish()
+    }
+}
+
+impl TxScheduler for Pool {
+    fn before_start(&self, ctx: &SchedCtx<'_>) {
+        if self.contended.get(ctx.thread).load(Ordering::Relaxed) {
+            self.lock.acquire(ctx.thread);
+        }
+    }
+
+    fn on_commit(&self, ctx: &SchedCtx<'_>, _reads: &[VarId], _writes: &[VarId]) {
+        self.contended
+            .get(ctx.thread)
+            .store(false, Ordering::Relaxed);
+        self.lock.release_if_held(ctx.thread);
+    }
+
+    fn on_abort(&self, ctx: &SchedCtx<'_>, _abort: &Abort, _reads: &[VarId], _writes: &[VarId]) {
+        self.contended
+            .get(ctx.thread)
+            .store(true, Ordering::Relaxed);
+        self.lock.release_if_held(ctx.thread);
+    }
+
+    fn name(&self) -> &str {
+        "pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrink_stm::{AbortReason, StaticWrites, ThreadId};
+
+    fn ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
+        SchedCtx {
+            thread: ThreadId::from_u16(thread),
+            visible: oracle,
+        }
+    }
+
+    #[test]
+    fn first_attempt_is_free_retry_is_serialized() {
+        let pool = Pool::new();
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        pool.before_start(&c);
+        assert_eq!(pool.wait_count(), 0);
+        pool.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        pool.before_start(&c);
+        assert_eq!(pool.wait_count(), 1, "contended thread serializes");
+        pool.on_commit(&c, &[], &[]);
+        assert_eq!(pool.wait_count(), 0);
+        // After the commit the flag is clear again.
+        pool.before_start(&c);
+        assert_eq!(pool.wait_count(), 0);
+        pool.on_commit(&c, &[], &[]);
+    }
+
+    #[test]
+    fn abort_while_serialized_keeps_thread_serialized() {
+        let pool = Pool::new();
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        pool.before_start(&c);
+        pool.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        pool.before_start(&c);
+        assert_eq!(pool.wait_count(), 1);
+        pool.on_abort(&c, &Abort::new(AbortReason::ReadValidation), &[], &[]);
+        assert_eq!(pool.wait_count(), 0, "abort releases the lock");
+        pool.before_start(&c);
+        assert_eq!(pool.wait_count(), 1, "but the retry serializes again");
+        pool.on_commit(&c, &[], &[]);
+    }
+}

@@ -1,0 +1,626 @@
+//! The **Shrink** scheduler — the paper's primary contribution.
+//!
+//! Shrink prevents conflicts instead of curing them. Per thread it
+//! maintains:
+//!
+//! * a *success rate* (exponential moving average: `(s + success)/2` on
+//!   commit, `s/2` on abort) — prediction only activates once the rate falls
+//!   below `succ_threshold`;
+//! * a ring of Bloom filters over the read sets of the last
+//!   `locality_window` transactions; an address read now that was also read
+//!   in recent transactions (confidence `Σ cᵢ ≥ confidence_threshold`)
+//!   enters the **predicted read set** (temporal locality);
+//! * the write set of the immediately previous *aborted* attempt as the
+//!   **predicted write set** (repeated transactions mimic their aborted
+//!   predecessor);
+//! * the **serialization affinity** heuristic: the prediction/serialization
+//!   machinery runs with probability proportional to the number of threads
+//!   currently serialized (`wait_count`), so Shrink stays out of the way in
+//!   low-contention and underloaded runs.
+//!
+//! On transaction start, if prediction is active and some predicted address
+//! is currently being written by another thread (checked through the host
+//! TM's *visible writes*), the transaction is serialized through the global
+//! lock.
+//!
+//! ## Deviation from the paper's listing
+//!
+//! Algorithm 1 guards the prediction scheme with `r < wait_count` for a
+//! random `r ∈ [1, 32]`, and `wait_count` starts at zero — taken literally,
+//! the scheme can never bootstrap (nothing ever serializes, so `wait_count`
+//! never rises). We add a configurable floor, [`ShrinkConfig::affinity_bias`]
+//! (default 1), i.e. the gate is `r ≤ wait_count + bias`: a thread whose
+//! success rate has collapsed checks its prediction at least once in 32
+//! starts even when nobody is serialized yet. Setting `affinity_bias = 0`
+//! recovers the literal listing.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use parking_lot::Mutex;
+use shrink_stm::{Abort, SchedCtx, ThreadId, TxScheduler, VarId};
+
+use crate::bloom::BloomRing;
+use crate::serial_lock::SerialLock;
+use crate::slots::ThreadSlots;
+
+/// Tuning parameters of [`Shrink`].
+///
+/// Defaults are the constants of the paper's §4: `success = 1`,
+/// `succ_threshold = 0.5`, `locality_window = 4`, `confidence_threshold = 3`,
+/// `c = [3, 2, 1]`, affinity modulus 32.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShrinkConfig {
+    /// Value mixed into the success-rate average on commit.
+    pub success: f64,
+    /// Success rate below which prediction and serialization activate.
+    pub succ_threshold: f64,
+    /// How many past transactions the Bloom-filter ring remembers
+    /// (`locality_window`; includes the in-progress transaction's filter).
+    pub locality_window: usize,
+    /// Per-age confidence weights `c₁, c₂, …` for filters 1, 2, … steps in
+    /// the past.
+    pub confidence_weights: Vec<u32>,
+    /// Confidence at or above which an address joins the predicted read set.
+    pub confidence_threshold: u32,
+    /// Bits per Bloom filter.
+    pub bloom_bits: usize,
+    /// Hash probes per Bloom filter.
+    pub bloom_probes: u32,
+    /// Modulus of the serialization-affinity lottery (the paper's 32).
+    pub affinity_modulus: u32,
+    /// Bootstrap floor added to `wait_count` in the affinity gate; see the
+    /// module documentation. 0 reproduces the paper's listing literally.
+    pub affinity_bias: u32,
+    /// Cap on the size of each predicted set.
+    pub max_pred_set: usize,
+    /// Whether to record prediction-accuracy counters (Figure 3).
+    pub track_accuracy: bool,
+}
+
+impl Default for ShrinkConfig {
+    fn default() -> Self {
+        ShrinkConfig {
+            success: 1.0,
+            succ_threshold: 0.5,
+            locality_window: 4,
+            confidence_weights: vec![3, 2, 1],
+            confidence_threshold: 3,
+            bloom_bits: 8192,
+            bloom_probes: 2,
+            affinity_modulus: 32,
+            affinity_bias: 1,
+            max_pred_set: 512,
+            track_accuracy: true,
+        }
+    }
+}
+
+/// Aggregate prediction-accuracy counters (the measurements behind the
+/// paper's Figure 3).
+///
+/// "Predicted" counts address-level predictions that were in force when a
+/// transaction committed; "correct" counts the subset that the transaction
+/// actually accessed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredictionStats {
+    /// Total predicted-read addresses across committed transactions.
+    pub read_predicted: u64,
+    /// Predicted-read addresses that were actually read.
+    pub read_correct: u64,
+    /// Total predicted-write addresses across committed transactions.
+    pub write_predicted: u64,
+    /// Predicted-write addresses that were actually written.
+    pub write_correct: u64,
+    /// Transactions serialized through the global lock.
+    pub serialized: u64,
+    /// Transaction starts for which prediction was consulted.
+    pub prediction_checks: u64,
+}
+
+impl PredictionStats {
+    /// Fraction of predicted reads that were correct, if any were made.
+    pub fn read_accuracy(&self) -> Option<f64> {
+        (self.read_predicted > 0).then(|| self.read_correct as f64 / self.read_predicted as f64)
+    }
+
+    /// Fraction of predicted writes that were correct, if any were made.
+    pub fn write_accuracy(&self) -> Option<f64> {
+        (self.write_predicted > 0).then(|| self.write_correct as f64 / self.write_predicted as f64)
+    }
+}
+
+/// Per-thread Shrink state. Only the owning thread takes the mutex on the
+/// hot path, so it is effectively uncontended.
+struct ThreadState {
+    succ_rate: f64,
+    ring: BloomRing,
+    pred_reads: HashSet<VarId>,
+    pred_writes: Vec<VarId>,
+    /// Snapshot of the predictions that were in force for the running
+    /// attempt, for accuracy accounting.
+    active_pred_reads: Vec<VarId>,
+    active_pred_writes: Vec<VarId>,
+    last_committed: bool,
+    rng: u64,
+    stats: PredictionStats,
+}
+
+impl ThreadState {
+    fn new(config: &ShrinkConfig, seed: u64) -> Self {
+        ThreadState {
+            succ_rate: 1.0,
+            ring: BloomRing::new(
+                config.locality_window,
+                config.bloom_bits,
+                config.bloom_probes,
+            ),
+            pred_reads: HashSet::new(),
+            pred_writes: Vec::new(),
+            active_pred_reads: Vec::new(),
+            active_pred_writes: Vec::new(),
+            last_committed: true,
+            rng: seed | 1,
+            stats: PredictionStats::default(),
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: cheap, no external RNG on the transaction hot path.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// The Shrink prediction-based transaction scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_core::{Shrink, ShrinkConfig};
+/// use shrink_stm::TmRuntime;
+/// use std::sync::Arc;
+///
+/// let shrink = Arc::new(Shrink::new(ShrinkConfig::default()));
+/// let rt = TmRuntime::builder().scheduler_arc(shrink.clone()).build();
+/// let v = shrink_stm::TVar::new(0u32);
+/// rt.run(|tx| tx.modify(&v, |x| x + 1));
+/// assert_eq!(v.snapshot(), 1);
+/// // The typed handle stays available for accuracy reporting:
+/// let _stats = shrink.prediction_stats();
+/// ```
+pub struct Shrink {
+    config: ShrinkConfig,
+    lock: SerialLock,
+    threads: ThreadSlots<Mutex<ThreadState>>,
+    /// Process-unique id keying the thread-local state cache (addresses can
+    /// be reused after a scheduler is dropped; ids cannot).
+    instance_id: u64,
+}
+
+thread_local! {
+    /// Per-OS-thread cache of `(scheduler identity, thread id) → state`,
+    /// bypassing the slot registry's lock on the per-read hot path.
+    static STATE_CACHE: std::cell::RefCell<Vec<(usize, u16, std::sync::Arc<Mutex<ThreadState>>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl Shrink {
+    /// Runs `f` against this thread's state, resolved through the
+    /// thread-local cache (no refcount traffic on the hot path).
+    fn with_state<R>(&self, thread: ThreadId, f: impl FnOnce(&Mutex<ThreadState>) -> R) -> R {
+        let key = self.instance_id as usize;
+        STATE_CACHE.with(|cache| {
+            {
+                let cache = cache.borrow();
+                for (k, t, state) in cache.iter() {
+                    if *k == key && *t == thread.as_u16() {
+                        return f(state);
+                    }
+                }
+            }
+            let state = self.threads.get(thread);
+            cache
+                .borrow_mut()
+                .push((key, thread.as_u16(), std::sync::Arc::clone(&state)));
+            f(&state)
+        })
+    }
+
+    /// Creates a Shrink scheduler with the given configuration.
+    pub fn new(config: ShrinkConfig) -> Self {
+        let factory_config = config.clone();
+        let counter = std::sync::atomic::AtomicU64::new(0x5EED);
+        static INSTANCE_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        Shrink {
+            config,
+            lock: SerialLock::new(),
+            threads: ThreadSlots::new(move || {
+                let seed = counter.fetch_add(0x9E37_79B9, std::sync::atomic::Ordering::Relaxed);
+                Mutex::new(ThreadState::new(&factory_config, seed))
+            }),
+            instance_id: INSTANCE_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ShrinkConfig {
+        &self.config
+    }
+
+    /// Number of threads currently serialized (the affinity signal).
+    pub fn wait_count(&self) -> u32 {
+        self.lock.wait_count()
+    }
+
+    /// Aggregated prediction statistics across all threads.
+    pub fn prediction_stats(&self) -> PredictionStats {
+        let mut total = PredictionStats::default();
+        for slot in self.threads.snapshot() {
+            let s = slot.lock();
+            total.read_predicted += s.stats.read_predicted;
+            total.read_correct += s.stats.read_correct;
+            total.write_predicted += s.stats.write_predicted;
+            total.write_correct += s.stats.write_correct;
+            total.serialized += s.stats.serialized;
+            total.prediction_checks += s.stats.prediction_checks;
+        }
+        total
+    }
+
+    /// The success rate of `thread`, if it has state.
+    pub fn success_rate(&self, thread: ThreadId) -> Option<f64> {
+        self.threads.try_get(thread).map(|s| s.lock().succ_rate)
+    }
+}
+
+impl fmt::Debug for Shrink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shrink")
+            .field("config", &self.config)
+            .field("wait_count", &self.lock.wait_count())
+            .finish()
+    }
+}
+
+impl TxScheduler for Shrink {
+    fn before_start(&self, ctx: &SchedCtx<'_>) {
+        self.with_state(ctx.thread, |slot| {
+            let mut s = slot.lock();
+
+            if s.succ_rate < self.config.succ_threshold {
+                // Serialization affinity: consult the prediction with probability
+                // proportional to the number of already-serialized threads.
+                let r = (s.next_rand() % self.config.affinity_modulus as u64) as u32 + 1;
+                let gate = self.lock.wait_count() + self.config.affinity_bias;
+                if r <= gate {
+                    s.stats.prediction_checks += 1;
+                    let me = ctx.thread;
+                    let predicted_conflict = s
+                        .pred_reads
+                        .iter()
+                        .any(|&v| ctx.visible.is_written_by_other(v, me))
+                        || s.pred_writes
+                            .iter()
+                            .any(|&v| ctx.visible.is_written_by_other(v, me));
+                    if predicted_conflict {
+                        s.stats.serialized += 1;
+                        // Blocks until the global lock is ours; the wait itself
+                        // is what prevents the predicted conflict.
+                        self.lock.acquire(me);
+                    }
+                }
+            }
+
+            // Record which predictions are in force for this attempt, then reset
+            // per Algorithm 1: the read prediction survives aborts (the retry
+            // reads similar addresses), the write prediction is consumed every
+            // start.
+            if self.config.track_accuracy {
+                s.active_pred_reads = s.pred_reads.iter().copied().collect();
+                s.active_pred_writes = s.pred_writes.clone();
+            }
+            if s.last_committed {
+                s.pred_reads.clear();
+            }
+            s.pred_writes.clear();
+        });
+    }
+
+    fn on_read(&self, ctx: &SchedCtx<'_>, var: VarId) {
+        self.with_state(ctx.thread, |slot| {
+            let mut s = slot.lock();
+            if s.ring.current_mut().insert_if_absent(var) {
+                // The Bloom history above is always maintained; the predicted
+                // read set is only worth computing once the thread's success
+                // rate has dropped into the range where `before_start` will
+                // consult it (the filters are already warm at that point, so
+                // predictions are available from the first struggling
+                // transaction).
+                if s.succ_rate < self.config.succ_threshold {
+                    let confidence = s.ring.confidence(var, &self.config.confidence_weights);
+                    if confidence >= self.config.confidence_threshold
+                        && s.pred_reads.len() < self.config.max_pred_set
+                    {
+                        s.pred_reads.insert(var);
+                    }
+                }
+            }
+        });
+    }
+
+    fn on_commit(&self, ctx: &SchedCtx<'_>, reads: &[VarId], writes: &[VarId]) {
+        self.with_state(ctx.thread, |slot| {
+            let mut s = slot.lock();
+            s.succ_rate = (s.succ_rate + self.config.success) / 2.0;
+            s.last_committed = true;
+            s.ring.rotate();
+            if self.config.track_accuracy {
+                if !s.active_pred_reads.is_empty() {
+                    let actual: HashSet<VarId> = reads.iter().copied().collect();
+                    s.stats.read_predicted += s.active_pred_reads.len() as u64;
+                    s.stats.read_correct += s
+                        .active_pred_reads
+                        .iter()
+                        .filter(|v| actual.contains(v))
+                        .count() as u64;
+                }
+                if !s.active_pred_writes.is_empty() {
+                    let actual: HashSet<VarId> = writes.iter().copied().collect();
+                    s.stats.write_predicted += s.active_pred_writes.len() as u64;
+                    s.stats.write_correct += s
+                        .active_pred_writes
+                        .iter()
+                        .filter(|v| actual.contains(v))
+                        .count() as u64;
+                }
+                s.active_pred_reads.clear();
+                s.active_pred_writes.clear();
+            }
+        });
+        self.lock.release_if_held(ctx.thread);
+    }
+
+    fn on_abort(&self, ctx: &SchedCtx<'_>, _abort: &Abort, _reads: &[VarId], writes: &[VarId]) {
+        self.with_state(ctx.thread, |slot| {
+            let mut s = slot.lock();
+            s.succ_rate /= 2.0;
+            s.last_committed = false;
+            // "copy write set of transaction into pred_write_set": the retry is
+            // expected to mimic the aborted attempt's writes.
+            s.pred_writes.clear();
+            s.pred_writes.extend_from_slice(writes);
+            if s.pred_writes.len() > self.config.max_pred_set {
+                s.pred_writes.truncate(self.config.max_pred_set);
+            }
+            // Temporal locality spans committed *and* aborted transactions.
+            s.ring.rotate();
+        });
+        self.lock.release_if_held(ctx.thread);
+    }
+
+    fn name(&self) -> &str {
+        "shrink"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrink_stm::{AbortReason, StaticWrites};
+
+    fn ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
+        SchedCtx {
+            thread: ThreadId::from_u16(thread),
+            visible: oracle,
+        }
+    }
+
+    fn commit_empty(s: &Shrink, c: &SchedCtx<'_>) {
+        s.on_commit(c, &[], &[]);
+    }
+
+    #[test]
+    fn success_rate_tracks_commits_and_aborts() {
+        let s = Shrink::new(ShrinkConfig::default());
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        let t = ThreadId::from_u16(1);
+        s.before_start(&c);
+        commit_empty(&s, &c);
+        assert_eq!(s.success_rate(t), Some(1.0));
+        s.before_start(&c);
+        s.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        assert_eq!(s.success_rate(t), Some(0.5));
+        s.before_start(&c);
+        s.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        assert_eq!(s.success_rate(t), Some(0.25));
+        s.before_start(&c);
+        commit_empty(&s, &c);
+        assert_eq!(s.success_rate(t), Some(0.625));
+    }
+
+    #[test]
+    fn repeated_reads_build_read_prediction() {
+        // Default confidence: an address read in the immediately previous
+        // transaction has confidence 3 >= threshold 3, so the next
+        // transaction predicts it — once the thread is struggling enough
+        // (success rate below threshold) for prediction to be maintained.
+        let s = Shrink::new(ShrinkConfig::default());
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        let addr = VarId::from_u64(99);
+
+        // Two aborted attempts reading `addr`: the first seeds the history,
+        // the second (success rate now 0.5 -> 0.25 territory) predicts.
+        for _ in 0..3 {
+            s.before_start(&c);
+            s.on_read(&c, addr);
+            s.on_abort(&c, &Abort::new(AbortReason::ReadValidation), &[addr], &[]);
+        }
+        {
+            let slot = s.threads.get(ThreadId::from_u16(1));
+            let st = slot.lock();
+            assert!(st.pred_reads.contains(&addr), "confidence 3 must predict");
+        }
+    }
+
+    #[test]
+    fn healthy_threads_skip_prediction_maintenance() {
+        let s = Shrink::new(ShrinkConfig::default());
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        let addr = VarId::from_u64(99);
+        for _ in 0..5 {
+            s.before_start(&c);
+            s.on_read(&c, addr);
+            commit_empty(&s, &c);
+        }
+        let slot = s.threads.get(ThreadId::from_u16(1));
+        assert!(
+            slot.lock().pred_reads.is_empty(),
+            "a thread that always commits never pays for predicted sets"
+        );
+    }
+
+    #[test]
+    fn serializes_on_predicted_conflict_when_unlucky_thread_checks() {
+        // Force prediction on: affinity gate always passes.
+        let config = ShrinkConfig {
+            affinity_bias: 32,
+            ..ShrinkConfig::default()
+        };
+        let s = Shrink::new(config);
+        let addr = VarId::from_u64(5);
+        let enemy = ThreadId::from_u16(9);
+        let oracle = StaticWrites::new().with_writer(addr, enemy);
+        let c = ctx(1, &oracle);
+        let t = ThreadId::from_u16(1);
+
+        // Build up a read prediction for `addr` and drive the rate down.
+        s.before_start(&c);
+        s.on_read(&c, addr);
+        commit_empty(&s, &c);
+        for _ in 0..3 {
+            s.before_start(&c);
+            s.on_read(&c, addr);
+            s.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[addr], &[]);
+        }
+        assert!(s.success_rate(t).unwrap() < 0.5);
+
+        s.before_start(&c);
+        assert_eq!(s.wait_count(), 1, "thread must be serialized");
+        let stats = s.prediction_stats();
+        assert!(stats.serialized >= 1);
+        s.on_read(&c, addr);
+        commit_empty(&s, &c);
+        assert_eq!(s.wait_count(), 0, "commit releases the global lock");
+    }
+
+    #[test]
+    fn healthy_threads_never_consult_prediction() {
+        let s = Shrink::new(ShrinkConfig::default());
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        for _ in 0..50 {
+            s.before_start(&c);
+            commit_empty(&s, &c);
+        }
+        assert_eq!(s.prediction_stats().prediction_checks, 0);
+    }
+
+    #[test]
+    fn write_prediction_comes_from_aborted_write_set() {
+        let s = Shrink::new(ShrinkConfig::default());
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        let w = VarId::from_u64(44);
+        s.before_start(&c);
+        s.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[w]);
+        {
+            let slot = s.threads.get(ThreadId::from_u16(1));
+            let st = slot.lock();
+            assert_eq!(st.pred_writes, vec![w]);
+        }
+        // The next start consumes it.
+        s.before_start(&c);
+        {
+            let slot = s.threads.get(ThreadId::from_u16(1));
+            let st = slot.lock();
+            assert!(st.pred_writes.is_empty(), "write prediction is one-shot");
+        }
+    }
+
+    #[test]
+    fn accuracy_counters_reflect_hits_and_misses() {
+        // succ_threshold above 1.0 keeps prediction maintenance always on,
+        // the configuration the Figure 3 accuracy harness uses.
+        let config = ShrinkConfig {
+            affinity_bias: 32,
+            succ_threshold: 1.1,
+            ..ShrinkConfig::default()
+        };
+        let s = Shrink::new(config);
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        let hit = VarId::from_u64(1);
+        let miss = VarId::from_u64(2);
+
+        // Two transactions reading {hit, miss} to build predictions.
+        for _ in 0..2 {
+            s.before_start(&c);
+            s.on_read(&c, hit);
+            s.on_read(&c, miss);
+            commit_empty(&s, &c);
+        }
+        // Third transaction reads only `hit`; both were predicted.
+        s.before_start(&c);
+        s.on_read(&c, hit);
+        s.on_commit(&c, &[hit], &[]);
+
+        let stats = s.prediction_stats();
+        assert_eq!(stats.read_predicted, 2);
+        assert_eq!(stats.read_correct, 1);
+        assert_eq!(stats.read_accuracy(), Some(0.5));
+    }
+
+    #[test]
+    fn read_prediction_survives_aborts_but_not_commits() {
+        let s = Shrink::new(ShrinkConfig {
+            succ_threshold: 1.1,
+            ..ShrinkConfig::default()
+        });
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        let addr = VarId::from_u64(7);
+        let t = ThreadId::from_u16(1);
+
+        s.before_start(&c);
+        s.on_read(&c, addr);
+        commit_empty(&s, &c);
+        s.before_start(&c);
+        s.on_read(&c, addr); // predicted now
+        s.on_abort(&c, &Abort::new(AbortReason::ReadValidation), &[addr], &[]);
+
+        // After an abort the prediction must survive the next start.
+        s.before_start(&c);
+        {
+            let slot = s.threads.get(t);
+            assert!(slot.lock().pred_reads.contains(&addr));
+        }
+        s.on_read(&c, addr);
+        commit_empty(&s, &c);
+
+        // After a commit the next start clears it.
+        s.before_start(&c);
+        {
+            let slot = s.threads.get(t);
+            assert!(slot.lock().pred_reads.is_empty());
+        }
+        commit_empty(&s, &c);
+    }
+}

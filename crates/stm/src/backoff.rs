@@ -1,0 +1,65 @@
+//! Bounded waiting and retry backoff, parameterized by [`WaitPolicy`].
+
+use std::hint;
+use std::thread;
+
+use crate::config::WaitPolicy;
+
+/// Pauses once according to the waiting policy.
+///
+/// Under [`WaitPolicy::Preemptive`], every `YIELD_EVERY` pauses the thread
+/// yields the processor so a preempted lock holder can run — the behaviour
+/// SwissTM's "preemptive waiting" flag enables. Under [`WaitPolicy::Busy`]
+/// the thread only executes a spin hint, reproducing busy waiting.
+#[inline]
+pub fn pause(policy: WaitPolicy, iteration: u32) {
+    const YIELD_EVERY: u32 = 64;
+    match policy {
+        WaitPolicy::Preemptive => {
+            if iteration % YIELD_EVERY == YIELD_EVERY - 1 {
+                thread::yield_now();
+            } else {
+                hint::spin_loop();
+            }
+        }
+        WaitPolicy::Busy => hint::spin_loop(),
+    }
+}
+
+/// Waits between transaction retries after an abort.
+///
+/// Exponential in the number of consecutive aborts, capped at
+/// `2^ceiling` pause units, with a cheap multiplicative-hash jitter so
+/// threads that abort together do not retry in lockstep.
+pub fn retry_backoff(policy: WaitPolicy, consecutive_aborts: u32, ceiling: u32, seed: u64) {
+    let exp = consecutive_aborts.min(ceiling);
+    let max = 1u64 << exp;
+    // xorshift-style jitter; avoids pulling a full RNG onto the abort path.
+    let mut x = seed
+        .wrapping_add(consecutive_aborts as u64)
+        .wrapping_mul(0x2545_F491_4F6C_DD1D);
+    x ^= x >> 33;
+    let spins = (x % max) + 1;
+    for i in 0..spins {
+        pause(policy, i as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pause_terminates_under_both_policies() {
+        for i in 0..256 {
+            pause(WaitPolicy::Preemptive, i);
+            pause(WaitPolicy::Busy, i);
+        }
+    }
+
+    #[test]
+    fn backoff_terminates_even_at_ceiling() {
+        retry_backoff(WaitPolicy::Busy, 100, 10, 42);
+        retry_backoff(WaitPolicy::Preemptive, 0, 10, 42);
+    }
+}

@@ -1,0 +1,194 @@
+//! Runtime configuration: backend selection, waiting policy and tuning knobs.
+
+use std::fmt;
+
+/// Which conflict-detection protocol the runtime uses.
+///
+/// Both backends acquire write locks eagerly (so writes are *visible*, as
+/// Shrink requires), buffer written values, and install them at commit under
+/// a TL2-style global clock. They differ in how conflicts are handled, which
+/// is what produces the paper's contrasting throughput curves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// SwissTM-like: readers may read *through* a write lock until the owner
+    /// starts committing; write/write conflicts go through a two-phase
+    /// contention manager (timid below a work threshold, greedy above, with
+    /// remote kill of the lighter transaction).
+    #[default]
+    Swiss,
+    /// TinySTM-like (version 0.9.5 semantics): encounter-time locking with
+    /// bounded busy-waiting on locked stripes and suicide on write/write
+    /// conflicts. Degrades steeply when overloaded — the behaviour Figures
+    /// 8, 10 and 11 of the paper rely on.
+    Tiny,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendKind::Swiss => f.write_str("swiss"),
+            BackendKind::Tiny => f.write_str("tiny"),
+        }
+    }
+}
+
+/// What a thread does while it waits (for a committing stripe, a kill to
+/// take effect, or between retries).
+///
+/// The paper evaluates SwissTM under both policies: Figure 5 uses
+/// *preemptive* waiting, the appendix's Figure 9 uses *busy* waiting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum WaitPolicy {
+    /// Yield the processor while waiting (`std::thread::yield_now`), so
+    /// waiting threads release their core in overloaded systems.
+    #[default]
+    Preemptive,
+    /// Spin without yielding. Threads that wait do not release the
+    /// processor, which wastes whole scheduling quanta once the system is
+    /// overloaded.
+    Busy,
+}
+
+impl fmt::Display for WaitPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitPolicy::Preemptive => f.write_str("preemptive"),
+            WaitPolicy::Busy => f.write_str("busy"),
+        }
+    }
+}
+
+/// How write/write conflicts are resolved — the *contention manager*.
+///
+/// The paper contrasts schedulers with classic CMs (Polite, Karma, Greedy)
+/// that "play their role only after conflicts have been detected"; this
+/// enum makes those policies selectable so the contrast can be measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum CmPolicy {
+    /// Use the backend's native policy: two-phase for
+    /// [`BackendKind::Swiss`], suicide-after-spin for [`BackendKind::Tiny`].
+    #[default]
+    BackendDefault,
+    /// SwissTM's two-phase manager: abort self while young (below the timid
+    /// threshold), then compare work done and remotely kill the lighter
+    /// transaction.
+    TwoPhase,
+    /// Abort self immediately after a bounded busy-wait (TinySTM style).
+    Suicide,
+    /// Polite (Scherer & Scott): exponentially backed-off re-attempts of
+    /// the acquisition, aborting self only after the patience runs out.
+    Polite,
+    /// Karma-flavoured: work done (accesses) is priority; the lighter
+    /// transaction loses, remotely killed if it holds the lock.
+    Karma,
+}
+
+impl fmt::Display for CmPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmPolicy::BackendDefault => "backend-default",
+            CmPolicy::TwoPhase => "two-phase",
+            CmPolicy::Suicide => "suicide",
+            CmPolicy::Polite => "polite",
+            CmPolicy::Karma => "karma",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tuning knobs of a [`TmRuntime`](crate::TmRuntime).
+///
+/// Construct via [`TmRuntime::builder`](crate::TmRuntime::builder); the
+/// defaults reproduce the paper's setup.
+#[derive(Clone, Debug)]
+pub struct TmConfig {
+    /// Conflict-detection protocol.
+    pub backend: BackendKind,
+    /// Waiting behaviour.
+    pub wait_policy: WaitPolicy,
+    /// Stripes in the ownership-record table (rounded to a power of two).
+    pub orec_table_size: usize,
+    /// Spins a reader grants a committing writer before retrying the read.
+    pub read_spin_budget: u32,
+    /// Spins a Tiny-backend transaction waits on a locked stripe before
+    /// aborting itself (TinySTM's busy-wait window).
+    pub lock_spin_budget: u32,
+    /// Accesses below which a Swiss transaction loses write/write conflicts
+    /// without a fight (the "timid" first phase of the two-phase CM).
+    pub cm_timid_threshold: u64,
+    /// Spins a Swiss transaction waits for a killed victim to release its
+    /// locks before giving up and aborting itself.
+    pub kill_wait_budget: u32,
+    /// Maximum consecutive aborts before the retry backoff saturates.
+    pub backoff_ceiling: u32,
+    /// Write/write conflict resolution policy.
+    pub cm_policy: CmPolicy,
+    /// Backed-off re-attempts Polite makes before aborting.
+    pub polite_retries: u32,
+}
+
+impl Default for TmConfig {
+    fn default() -> Self {
+        TmConfig {
+            backend: BackendKind::Swiss,
+            wait_policy: WaitPolicy::Preemptive,
+            orec_table_size: 1 << 16,
+            read_spin_budget: 512,
+            lock_spin_budget: 2048,
+            cm_timid_threshold: 32,
+            kill_wait_budget: 4096,
+            backoff_ceiling: 10,
+            cm_policy: CmPolicy::BackendDefault,
+            polite_retries: 6,
+        }
+    }
+}
+
+impl TmConfig {
+    /// The conflict policy actually in force, with backend defaults
+    /// resolved.
+    pub fn effective_cm(&self) -> CmPolicy {
+        match self.cm_policy {
+            CmPolicy::BackendDefault => match self.backend {
+                BackendKind::Swiss => CmPolicy::TwoPhase,
+                BackendKind::Tiny => CmPolicy::Suicide,
+            },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TmConfig::default();
+        assert_eq!(c.backend, BackendKind::Swiss);
+        assert_eq!(c.wait_policy, WaitPolicy::Preemptive);
+        assert!(c.orec_table_size.is_power_of_two());
+        assert!(c.read_spin_budget > 0);
+        assert!(c.lock_spin_budget > 0);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(BackendKind::Swiss.to_string(), "swiss");
+        assert_eq!(BackendKind::Tiny.to_string(), "tiny");
+        assert_eq!(WaitPolicy::Preemptive.to_string(), "preemptive");
+        assert_eq!(WaitPolicy::Busy.to_string(), "busy");
+        assert_eq!(CmPolicy::Karma.to_string(), "karma");
+        assert_eq!(CmPolicy::default().to_string(), "backend-default");
+    }
+
+    #[test]
+    fn backend_defaults_resolve_to_native_policies() {
+        let mut c = TmConfig::default();
+        assert_eq!(c.effective_cm(), CmPolicy::TwoPhase);
+        c.backend = BackendKind::Tiny;
+        assert_eq!(c.effective_cm(), CmPolicy::Suicide);
+        c.cm_policy = CmPolicy::Polite;
+        assert_eq!(c.effective_cm(), CmPolicy::Polite);
+    }
+}

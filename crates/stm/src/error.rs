@@ -1,0 +1,157 @@
+//! Transaction failure types.
+//!
+//! A transaction body has the signature `FnMut(&mut Tx) -> Result<T, Abort>`;
+//! any transactional operation can fail with [`Abort`], which the `?`
+//! operator propagates out of the body so the runtime's retry loop can
+//! restart the attempt. An `Abort` is not a user-visible error of
+//! [`TmRuntime::run`](crate::TmRuntime::run) — it is consumed by the retry
+//! loop — but it is part of the public API because bodies must thread it.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::thread::ThreadId;
+use crate::varid::VarId;
+
+/// Why a transaction attempt must be restarted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// A read observed a version newer than the snapshot and the snapshot
+    /// could not be extended.
+    ReadValidation,
+    /// Commit-time validation of the read set failed.
+    CommitValidation,
+    /// A write/write conflict was resolved against this transaction.
+    WriteConflict,
+    /// The spin budget for a locked ownership record was exhausted.
+    LockTimeout,
+    /// A higher-priority transaction requested this one be killed
+    /// (SwissTM-style two-phase contention management).
+    Killed,
+    /// The transaction body requested a restart via [`Tx::restart`](crate::Tx::restart).
+    UserRestart,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::ReadValidation => "read validation failed",
+            AbortReason::CommitValidation => "commit validation failed",
+            AbortReason::WriteConflict => "write/write conflict",
+            AbortReason::LockTimeout => "lock wait budget exhausted",
+            AbortReason::Killed => "killed by contention manager",
+            AbortReason::UserRestart => "restart requested by transaction body",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A request to abort and retry the current transaction attempt.
+///
+/// Carries the reason plus, when known, the variable and the competing
+/// thread involved in the conflict. Schedulers receive this information
+/// through the [`TxScheduler::on_abort`](crate::sched::TxScheduler::on_abort)
+/// hook.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_stm::{Abort, AbortReason};
+///
+/// let a = Abort::new(AbortReason::WriteConflict);
+/// assert_eq!(a.reason(), AbortReason::WriteConflict);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abort {
+    reason: AbortReason,
+    var: Option<VarId>,
+    enemy: Option<ThreadId>,
+}
+
+impl Abort {
+    /// Creates an abort with no conflict details.
+    pub fn new(reason: AbortReason) -> Self {
+        Abort {
+            reason,
+            var: None,
+            enemy: None,
+        }
+    }
+
+    /// Creates an abort attributed to a conflict on `var` with `enemy`.
+    pub fn on_conflict(reason: AbortReason, var: VarId, enemy: ThreadId) -> Self {
+        Abort {
+            reason,
+            var: Some(var),
+            enemy: Some(enemy),
+        }
+    }
+
+    /// The cause of the abort.
+    pub fn reason(&self) -> AbortReason {
+        self.reason
+    }
+
+    /// The variable on which the conflict occurred, if known.
+    pub fn var(&self) -> Option<VarId> {
+        self.var
+    }
+
+    /// The thread this transaction lost against, if known.
+    pub fn enemy(&self) -> Option<ThreadId> {
+        self.enemy
+    }
+}
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted: {}", self.reason)?;
+        if let Some(v) = self.var {
+            write!(f, " on {v}")?;
+        }
+        if let Some(t) = self.enemy {
+            write!(f, " against {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Abort {}
+
+/// Result alias used by transaction bodies.
+pub type TxResult<T> = Result<T, Abort>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_conflict_details() {
+        let a = Abort::on_conflict(
+            AbortReason::WriteConflict,
+            VarId::from_u64(9),
+            ThreadId::from_raw(3),
+        );
+        let s = a.to_string();
+        assert!(s.contains("write/write conflict"), "{s}");
+        assert!(s.contains("v9"), "{s}");
+        assert!(s.contains("t3"), "{s}");
+    }
+
+    #[test]
+    fn plain_abort_has_no_details() {
+        let a = Abort::new(AbortReason::Killed);
+        assert!(a.var().is_none());
+        assert!(a.enemy().is_none());
+        assert_eq!(
+            a.to_string(),
+            "transaction aborted: killed by contention manager"
+        );
+    }
+
+    #[test]
+    fn abort_is_a_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(Abort::new(AbortReason::ReadValidation));
+    }
+}

@@ -1,0 +1,81 @@
+//! # shrink-stm — an STM substrate with visible writes and pluggable schedulers
+//!
+//! This crate is the transactional-memory substrate of the *Shrink*
+//! reproduction ("Preventing versus Curing: Avoiding Conflicts in
+//! Transactional Memories", PODC 2009). It provides:
+//!
+//! * a word-based software transactional memory built on ownership records
+//!   with **visible writes** — any thread can ask which thread is currently
+//!   writing an address, which is the facility prediction-based schedulers
+//!   need;
+//! * two conflict-handling backends modelled after the STMs the paper
+//!   evaluates: [`BackendKind::Swiss`] (SwissTM-like lazy read/write conflict
+//!   resolution with a two-phase contention manager) and
+//!   [`BackendKind::Tiny`] (TinySTM-like encounter-time locking with bounded
+//!   busy-waiting);
+//! * both waiting policies the paper compares ([`WaitPolicy::Preemptive`]
+//!   and [`WaitPolicy::Busy`]);
+//! * the scheduler hook interface ([`sched::TxScheduler`]) through which the
+//!   Shrink, ATS, Pool and Serializer policies of the companion
+//!   `shrink-core` crate plug in.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use shrink_stm::{TmRuntime, TVar};
+//!
+//! let rt = TmRuntime::new();
+//! let x = TVar::new(1u64);
+//! let y = TVar::new(2u64);
+//!
+//! let sum = rt.run(|tx| {
+//!     let a = tx.read(&x)?;
+//!     let b = tx.read(&y)?;
+//!     tx.write(&y, a + b)?;
+//!     Ok(a + b)
+//! });
+//! assert_eq!(sum, 3);
+//! assert_eq!(y.snapshot(), 3);
+//! ```
+//!
+//! ## Architecture
+//!
+//! ```text
+//! TmRuntime ── GlobalClock          (TL2-style timestamps)
+//!      │   ├── OrecTable            (striped versioned write locks, visible writes)
+//!      │   ├── ThreadRegistry       (ThreadCtx: kill flags, counters)
+//!      │   └── Arc<dyn TxScheduler> (policy hooks; NoopScheduler by default)
+//!      └── run(body) ──────────────► Tx (read/write/commit protocol)
+//! TVar<T> ── ValueCell<T>           (epoch-reclaimed value snapshots)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backoff;
+pub mod cell;
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod orec;
+pub mod runtime;
+pub mod sched;
+pub mod stats;
+pub mod tarray;
+pub mod thread;
+pub mod tvar;
+pub mod txn;
+pub mod varid;
+pub mod visible;
+
+pub use config::{BackendKind, CmPolicy, TmConfig, WaitPolicy};
+pub use error::{Abort, AbortReason, TxResult};
+pub use runtime::{RetryLimitExceeded, TmBuilder, TmRuntime};
+pub use sched::{NoopScheduler, SchedCtx, TxScheduler};
+pub use stats::{ThreadStats, TmStats};
+pub use tarray::TArray;
+pub use thread::ThreadId;
+pub use tvar::{TVar, TxValue};
+pub use txn::Tx;
+pub use varid::VarId;
+pub use visible::{StaticWrites, VisibleWrites};

@@ -1,0 +1,530 @@
+//! The transactional-memory runtime: configuration, thread registration and
+//! the retry loop.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::backoff::retry_backoff;
+use crate::clock::GlobalClock;
+use crate::config::{BackendKind, CmPolicy, TmConfig, WaitPolicy};
+use crate::error::TxResult;
+use crate::orec::OrecTable;
+use crate::sched::{NoopScheduler, SchedCtx, TxScheduler};
+use crate::stats::{ThreadStats, TmStats};
+use crate::thread::{ThreadCtx, ThreadRegistry};
+use crate::txn::Tx;
+use crate::visible::VisibleWrites;
+
+static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-OS-thread map from runtime id to this thread's context in that
+    /// runtime. A thread registers lazily on its first transaction.
+    static THREAD_CTXS: RefCell<HashMap<u64, Arc<ThreadCtx>>> = RefCell::new(HashMap::new());
+}
+
+pub(crate) struct RuntimeInner {
+    pub(crate) id: u64,
+    pub(crate) config: TmConfig,
+    pub(crate) clock: GlobalClock,
+    pub(crate) orecs: OrecTable,
+    pub(crate) scheduler: Arc<dyn TxScheduler>,
+    pub(crate) registry: ThreadRegistry,
+}
+
+/// Error returned by [`TmRuntime::run_budgeted`] when a transaction fails to
+/// commit within the allowed number of attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryLimitExceeded {
+    /// How many attempts were made.
+    pub attempts: u64,
+}
+
+impl fmt::Display for RetryLimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transaction failed to commit within {} attempts",
+            self.attempts
+        )
+    }
+}
+
+impl Error for RetryLimitExceeded {}
+
+/// Builder for [`TmRuntime`].
+///
+/// # Examples
+///
+/// ```
+/// use shrink_stm::{TmRuntime, BackendKind, WaitPolicy};
+///
+/// let rt = TmRuntime::builder()
+///     .backend(BackendKind::Tiny)
+///     .wait_policy(WaitPolicy::Busy)
+///     .orec_table_size(1 << 12)
+///     .build();
+/// assert_eq!(rt.config().backend, BackendKind::Tiny);
+/// ```
+#[derive(Debug)]
+pub struct TmBuilder {
+    config: TmConfig,
+    scheduler: Arc<dyn TxScheduler>,
+}
+
+impl TmBuilder {
+    fn new() -> Self {
+        TmBuilder {
+            config: TmConfig::default(),
+            scheduler: Arc::new(NoopScheduler),
+        }
+    }
+
+    /// Selects the conflict-detection backend.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Selects the waiting policy.
+    pub fn wait_policy(mut self, policy: WaitPolicy) -> Self {
+        self.config.wait_policy = policy;
+        self
+    }
+
+    /// Sets the number of ownership-record stripes.
+    pub fn orec_table_size(mut self, size: usize) -> Self {
+        self.config.orec_table_size = size;
+        self
+    }
+
+    /// Sets the reader's spin budget against committing stripes.
+    pub fn read_spin_budget(mut self, spins: u32) -> Self {
+        self.config.read_spin_budget = spins;
+        self
+    }
+
+    /// Sets the Tiny backend's busy-wait budget on locked stripes.
+    pub fn lock_spin_budget(mut self, spins: u32) -> Self {
+        self.config.lock_spin_budget = spins;
+        self
+    }
+
+    /// Sets the Swiss contention manager's timid-phase threshold.
+    pub fn cm_timid_threshold(mut self, accesses: u64) -> Self {
+        self.config.cm_timid_threshold = accesses;
+        self
+    }
+
+    /// Selects the write/write contention-management policy.
+    pub fn cm_policy(mut self, policy: CmPolicy) -> Self {
+        self.config.cm_policy = policy;
+        self
+    }
+
+    /// Sets how long a Swiss transaction waits for a killed victim.
+    pub fn kill_wait_budget(mut self, spins: u32) -> Self {
+        self.config.kill_wait_budget = spins;
+        self
+    }
+
+    /// Sets the exponential retry backoff ceiling (power of two).
+    pub fn backoff_ceiling(mut self, ceiling: u32) -> Self {
+        self.config.backoff_ceiling = ceiling;
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: TmConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Installs a transaction scheduler (defaults to [`NoopScheduler`]).
+    pub fn scheduler(mut self, scheduler: impl TxScheduler + 'static) -> Self {
+        self.scheduler = Arc::new(scheduler);
+        self
+    }
+
+    /// Installs an already-shared scheduler, letting the caller keep a typed
+    /// handle to it (e.g. to read Shrink's prediction-accuracy counters).
+    pub fn scheduler_arc(mut self, scheduler: Arc<dyn TxScheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(self) -> TmRuntime {
+        TmRuntime {
+            inner: Arc::new(RuntimeInner {
+                id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
+                orecs: OrecTable::new(self.config.orec_table_size),
+                clock: GlobalClock::new(),
+                registry: ThreadRegistry::new(),
+                scheduler: self.scheduler,
+                config: self.config,
+            }),
+        }
+    }
+}
+
+/// A software transactional memory runtime with a pluggable scheduler.
+///
+/// Cloning is cheap and shares the underlying memory; the usual pattern is
+/// one runtime cloned into every worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_stm::{TmRuntime, TVar};
+///
+/// let rt = TmRuntime::new();
+/// let counter = TVar::new(0u64);
+///
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let rt = rt.clone();
+///         let counter = counter.clone();
+///         std::thread::spawn(move || {
+///             for _ in 0..100 {
+///                 rt.run(|tx| tx.modify(&counter, |v| v + 1));
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// assert_eq!(counter.snapshot(), 400);
+/// ```
+#[derive(Clone)]
+pub struct TmRuntime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl TmRuntime {
+    /// Creates a runtime with default configuration (Swiss backend,
+    /// preemptive waiting, no scheduler).
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Starts building a customized runtime.
+    pub fn builder() -> TmBuilder {
+        TmBuilder::new()
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &TmConfig {
+        &self.inner.config
+    }
+
+    /// The installed scheduler's short name.
+    pub fn scheduler_name(&self) -> &str {
+        self.inner.scheduler.name()
+    }
+
+    /// The visible-writes oracle (the ownership-record table).
+    pub fn visible_writes(&self) -> &dyn VisibleWrites {
+        &self.inner.orecs
+    }
+
+    /// Registers the calling thread (if needed) and returns its context.
+    fn current_ctx(&self) -> Arc<ThreadCtx> {
+        THREAD_CTXS.with(|map| {
+            let mut map = map.borrow_mut();
+            if let Some(ctx) = map.get(&self.inner.id) {
+                return Arc::clone(ctx);
+            }
+            let ctx = self.inner.registry.register();
+            self.inner.scheduler.on_thread_register(ctx.id());
+            map.insert(self.inner.id, Arc::clone(&ctx));
+            ctx
+        })
+    }
+
+    /// Runs `body` as a transaction, retrying until it commits, and returns
+    /// its result.
+    ///
+    /// The body may run many times; it must be idempotent apart from its
+    /// transactional effects. Values captured by mutable reference should be
+    /// written only on the path that returns `Ok`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `body`; held stripe locks are released during
+    /// unwinding, but scheduler serialization state may be left inconsistent,
+    /// so a panicking body should be treated as fatal for the runtime.
+    pub fn run<T>(&self, body: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
+        match self.run_attempts(u64::MAX, body) {
+            Ok(v) => v,
+            Err(_) => unreachable!("unbounded retries cannot be exhausted"),
+        }
+    }
+
+    /// Runs `body` as a transaction but gives up after `max_attempts`
+    /// attempts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetryLimitExceeded`] if no attempt committed.
+    pub fn run_budgeted<T>(
+        &self,
+        max_attempts: u64,
+        body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> Result<T, RetryLimitExceeded> {
+        self.run_attempts(max_attempts, body)
+    }
+
+    fn run_attempts<T>(
+        &self,
+        max_attempts: u64,
+        mut body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> Result<T, RetryLimitExceeded> {
+        let ctx = self.current_ctx();
+        let inner = &*self.inner;
+        let mut consecutive_aborts: u32 = 0;
+        let mut attempts: u64 = 0;
+        loop {
+            attempts += 1;
+            let sched_ctx = SchedCtx {
+                thread: ctx.id(),
+                visible: &inner.orecs,
+            };
+            inner.scheduler.before_start(&sched_ctx);
+            let mut tx = Tx::begin(inner, &ctx);
+            let committed = match body(&mut tx) {
+                Ok(value) => tx.try_commit().map(|()| value),
+                Err(abort) => Err(abort),
+            };
+            match committed {
+                Ok(value) => {
+                    let (reads, writes) = tx.take_logs();
+                    drop(tx);
+                    ctx.commits.fetch_add(1, Ordering::Relaxed);
+                    inner.scheduler.on_commit(&sched_ctx, &reads, &writes);
+                    return Ok(value);
+                }
+                Err(abort) => {
+                    tx.rollback();
+                    let (reads, writes) = tx.take_logs();
+                    drop(tx);
+                    ctx.aborts.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .scheduler
+                        .on_abort(&sched_ctx, &abort, &reads, &writes);
+                    if attempts >= max_attempts {
+                        return Err(RetryLimitExceeded { attempts });
+                    }
+                    consecutive_aborts += 1;
+                    retry_backoff(
+                        inner.config.wait_policy,
+                        consecutive_aborts,
+                        inner.config.backoff_ceiling,
+                        ctx.id().as_u16() as u64,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Takes a statistics snapshot over all registered threads.
+    pub fn stats(&self) -> TmStats {
+        let per_thread = self
+            .inner
+            .registry
+            .snapshot()
+            .iter()
+            .map(|ctx| ThreadStats {
+                thread: ctx.id(),
+                commits: ctx.commit_count(),
+                aborts: ctx.abort_count(),
+            })
+            .collect();
+        TmStats::from_threads(per_thread)
+    }
+}
+
+impl Default for TmRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for TmRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TmRuntime")
+            .field("id", &self.inner.id)
+            .field("backend", &self.inner.config.backend)
+            .field("wait_policy", &self.inner.config.wait_policy)
+            .field("scheduler", &self.inner.scheduler.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tvar::TVar;
+
+    #[test]
+    fn single_threaded_counter() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(0u64);
+        for _ in 0..100 {
+            rt.run(|tx| tx.modify(&v, |x| x + 1));
+        }
+        assert_eq!(v.snapshot(), 100);
+        let stats = rt.stats();
+        assert_eq!(stats.commits, 100);
+        assert_eq!(stats.aborts, 0);
+    }
+
+    #[test]
+    fn read_own_write() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(1u64);
+        let seen = rt.run(|tx| {
+            tx.write(&v, 7)?;
+            tx.read(&v)
+        });
+        assert_eq!(seen, 7);
+        assert_eq!(v.snapshot(), 7);
+    }
+
+    #[test]
+    fn writes_are_buffered_until_commit() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(1u64);
+        rt.run(|tx| {
+            tx.write(&v, 99)?;
+            // Not yet installed: snapshot still sees the old value.
+            assert_eq!(v.snapshot(), 1);
+            Ok(())
+        });
+        assert_eq!(v.snapshot(), 99);
+    }
+
+    #[test]
+    fn user_restart_retries() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(0u32);
+        let mut first = true;
+        rt.run(|tx| {
+            if first {
+                first = false;
+                return tx.restart();
+            }
+            tx.write(&v, 5)
+        });
+        assert_eq!(v.snapshot(), 5);
+        assert_eq!(rt.stats().aborts, 1);
+    }
+
+    #[test]
+    fn budgeted_run_gives_up() {
+        let rt = TmRuntime::new();
+        let result: Result<(), _> = rt.run_budgeted(3, |tx| tx.restart());
+        assert_eq!(result, Err(RetryLimitExceeded { attempts: 3 }));
+    }
+
+    #[test]
+    fn multithreaded_transfer_conserves_money_swiss() {
+        transfer_conserves_money(BackendKind::Swiss, WaitPolicy::Preemptive);
+    }
+
+    #[test]
+    fn multithreaded_transfer_conserves_money_tiny() {
+        transfer_conserves_money(BackendKind::Tiny, WaitPolicy::Preemptive);
+    }
+
+    fn transfer_conserves_money(backend: BackendKind, wait: WaitPolicy) {
+        const ACCOUNTS: usize = 8;
+        const THREADS: usize = 4;
+        const TRANSFERS: usize = 500;
+        let rt = TmRuntime::builder()
+            .backend(backend)
+            .wait_policy(wait)
+            .build();
+        let accounts: Vec<TVar<i64>> = (0..ACCOUNTS).map(|_| TVar::new(1000)).collect();
+        let accounts = Arc::new(accounts);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let rt = rt.clone();
+                let accounts = Arc::clone(&accounts);
+                std::thread::spawn(move || {
+                    let mut s = t as u64 + 1;
+                    for _ in 0..TRANSFERS {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let from = (s >> 33) as usize % ACCOUNTS;
+                        let to = (s >> 17) as usize % ACCOUNTS;
+                        if from == to {
+                            continue;
+                        }
+                        rt.run(|tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            tx.write(&accounts[from], a - 1)?;
+                            tx.write(&accounts[to], b + 1)
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: i64 = accounts.iter().map(|a| a.snapshot()).sum();
+        assert_eq!(total, ACCOUNTS as i64 * 1000, "money must be conserved");
+    }
+
+    #[test]
+    fn stats_count_both_threads() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(0u64);
+        let t = {
+            let rt = rt.clone();
+            let v = v.clone();
+            std::thread::spawn(move || rt.run(|tx| tx.modify(&v, |x| x + 1)))
+        };
+        t.join().unwrap();
+        rt.run(|tx| tx.modify(&v, |x| x + 1));
+        let stats = rt.stats();
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.per_thread.len(), 2);
+    }
+
+    #[test]
+    fn panicking_body_releases_locks() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(0u64);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(|tx| {
+                tx.write(&v, 1)?;
+                panic!("boom");
+                #[allow(unreachable_code)]
+                Ok(())
+            })
+        }));
+        assert!(result.is_err());
+        // The stripe must be free again: another transaction can write it.
+        rt.run(|tx| tx.write(&v, 2));
+        assert_eq!(v.snapshot(), 2);
+    }
+
+    #[test]
+    fn distinct_runtimes_are_isolated() {
+        let rt1 = TmRuntime::new();
+        let rt2 = TmRuntime::new();
+        let v = TVar::new(0u64);
+        rt1.run(|tx| tx.write(&v, 1));
+        rt2.run(|tx| tx.modify(&v, |x| x + 1));
+        assert_eq!(v.snapshot(), 2);
+        assert_eq!(rt1.stats().commits, 1);
+        assert_eq!(rt2.stats().commits, 1);
+    }
+}

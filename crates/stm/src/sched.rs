@@ -1,0 +1,155 @@
+//! The transaction-scheduler integration surface.
+//!
+//! A *TM scheduler* in the paper's sense is "a software component
+//! encapsulating a policy that decides when a particular transaction
+//! executes". The runtime drives an implementation of [`TxScheduler`]
+//! through six hooks that correspond one-to-one with the integration points
+//! of the paper's Algorithm 1:
+//!
+//! * [`before_start`](TxScheduler::before_start) — "On transactional start";
+//!   this is where a scheduler may block the thread (serialize it through a
+//!   global lock) based on its prediction.
+//! * [`on_read`](TxScheduler::on_read) — "On transactional read of addr";
+//!   feeds the read-set predictor.
+//! * [`on_write`](TxScheduler::on_write) — symmetric hook for writes.
+//! * [`on_commit`](TxScheduler::on_commit) — success-rate bookkeeping and
+//!   release of the serialization lock.
+//! * [`on_abort`](TxScheduler::on_abort) — write-set prediction (the aborted
+//!   write set becomes the prediction for the retry) and success-rate decay.
+//! * [`on_thread_register`](TxScheduler::on_thread_register) — one-time
+//!   per-thread setup.
+//!
+//! Concrete schedulers (Shrink, ATS, Pool, Serializer) live in the
+//! `shrink-core` crate; this crate ships only [`NoopScheduler`], the
+//! "base TM" configuration.
+
+use std::fmt;
+
+use crate::error::Abort;
+use crate::thread::ThreadId;
+use crate::varid::VarId;
+use crate::visible::VisibleWrites;
+
+/// Context handed to every scheduler hook.
+///
+/// Borrows the runtime's [`VisibleWrites`] oracle so schedulers can check
+/// whether predicted addresses are currently being written — the core of
+/// Shrink's conflict-prevention test.
+pub struct SchedCtx<'a> {
+    /// The thread the hook fires for.
+    pub thread: ThreadId,
+    /// Who is currently writing what (the orec table).
+    pub visible: &'a dyn VisibleWrites,
+}
+
+impl fmt::Debug for SchedCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedCtx")
+            .field("thread", &self.thread)
+            .finish()
+    }
+}
+
+/// A pluggable transaction scheduling policy.
+///
+/// Hooks run on the transacting thread itself. `before_start` is allowed to
+/// block (that is how serialization is implemented); the others should be
+/// fast, as `on_read`/`on_write` sit on the transactional hot path.
+///
+/// # Contract
+///
+/// * Every attempt is bracketed: `before_start` is followed by exactly one of
+///   `on_commit` or `on_abort` for the same thread.
+/// * `reads` and `writes` slices passed to `on_commit`/`on_abort` list the
+///   variables accessed by the finished attempt. `reads` may contain
+///   duplicates (one entry per dynamic read); `writes` is duplicate-free.
+/// * A scheduler that acquires a lock in `before_start` **must** release it
+///   in both `on_commit` and `on_abort`.
+pub trait TxScheduler: Send + Sync + fmt::Debug {
+    /// Called once when a thread registers with the runtime.
+    fn on_thread_register(&self, thread: ThreadId) {
+        let _ = thread;
+    }
+
+    /// Called before every transaction attempt (first try and retries).
+    /// May block to serialize the transaction.
+    fn before_start(&self, ctx: &SchedCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called on every transactional read of `var`.
+    fn on_read(&self, ctx: &SchedCtx<'_>, var: VarId) {
+        let _ = (ctx, var);
+    }
+
+    /// Called on every transactional write of `var`.
+    fn on_write(&self, ctx: &SchedCtx<'_>, var: VarId) {
+        let _ = (ctx, var);
+    }
+
+    /// Called after a successful commit with the attempt's access sets.
+    fn on_commit(&self, ctx: &SchedCtx<'_>, reads: &[VarId], writes: &[VarId]) {
+        let _ = (ctx, reads, writes);
+    }
+
+    /// Called after an aborted attempt with the abort cause and access sets.
+    fn on_abort(&self, ctx: &SchedCtx<'_>, abort: &Abort, reads: &[VarId], writes: &[VarId]) {
+        let _ = (ctx, abort, reads, writes);
+    }
+
+    /// A short name for reports ("noop", "shrink", "ats", ...).
+    fn name(&self) -> &str;
+}
+
+/// The do-nothing scheduler: the base TM without any scheduling policy.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_stm::{TmRuntime, sched::NoopScheduler};
+///
+/// let rt = TmRuntime::builder().scheduler(NoopScheduler).build();
+/// assert_eq!(rt.scheduler_name(), "noop");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopScheduler;
+
+impl TxScheduler for NoopScheduler {
+    fn name(&self) -> &str {
+        "noop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visible::StaticWrites;
+
+    #[test]
+    fn noop_scheduler_hooks_are_callable() {
+        let s = NoopScheduler;
+        let oracle = StaticWrites::new();
+        let ctx = SchedCtx {
+            thread: ThreadId::from_raw(1),
+            visible: &oracle,
+        };
+        s.on_thread_register(ctx.thread);
+        s.before_start(&ctx);
+        s.on_read(&ctx, VarId::from_u64(1));
+        s.on_write(&ctx, VarId::from_u64(1));
+        s.on_commit(&ctx, &[], &[]);
+        s.on_abort(
+            &ctx,
+            &Abort::new(crate::AbortReason::ReadValidation),
+            &[],
+            &[],
+        );
+        assert_eq!(s.name(), "noop");
+    }
+
+    #[test]
+    fn scheduler_trait_is_object_safe() {
+        let s: Box<dyn TxScheduler> = Box::new(NoopScheduler);
+        assert_eq!(s.name(), "noop");
+    }
+}

@@ -1,0 +1,164 @@
+//! Commit/abort statistics.
+//!
+//! The throughput and abort-rate numbers behind every figure in the paper
+//! come from these counters. Counting happens with relaxed atomics on the
+//! transacting threads; [`TmStats`] is a consistent-enough snapshot taken by
+//! whoever asks.
+
+use std::fmt;
+
+use crate::thread::ThreadId;
+
+/// Counters of a single thread at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Which thread these counters belong to.
+    pub thread: ThreadId,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+}
+
+impl ThreadStats {
+    /// Commits divided by total attempts; 1.0 for an idle thread.
+    pub fn success_ratio(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            1.0
+        } else {
+            self.commits as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregate snapshot over all registered threads.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_stm::TmRuntime;
+///
+/// let rt = TmRuntime::new();
+/// let v = shrink_stm::TVar::new(1u32);
+/// let _: u32 = rt.run(|tx| tx.read(&v));
+/// assert_eq!(rt.stats().commits, 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TmStats {
+    /// Total committed transactions.
+    pub commits: u64,
+    /// Total aborted attempts.
+    pub aborts: u64,
+    /// Per-thread breakdown.
+    pub per_thread: Vec<ThreadStats>,
+}
+
+impl TmStats {
+    /// Aggregates per-thread counters.
+    pub fn from_threads(per_thread: Vec<ThreadStats>) -> Self {
+        let commits = per_thread.iter().map(|t| t.commits).sum();
+        let aborts = per_thread.iter().map(|t| t.aborts).sum();
+        TmStats {
+            commits,
+            aborts,
+            per_thread,
+        }
+    }
+
+    /// Aborts per commit (the paper's "wasted work" proxy). Zero when no
+    /// transaction committed.
+    pub fn aborts_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// Commits divided by total attempts; 1.0 when nothing ran.
+    pub fn success_ratio(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            1.0
+        } else {
+            self.commits as f64 / total as f64
+        }
+    }
+
+    /// Difference against an earlier snapshot of the same runtime.
+    ///
+    /// Used by the throughput harness: snapshot, run for a wall-clock
+    /// window, snapshot again, divide.
+    pub fn since(&self, earlier: &TmStats) -> TmStats {
+        TmStats {
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            per_thread: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for TmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} commits, {} aborts ({:.2} aborts/commit)",
+            self.commits,
+            self.aborts,
+            self.aborts_per_commit()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(thread: u16, commits: u64, aborts: u64) -> ThreadStats {
+        ThreadStats {
+            thread: ThreadId::from_raw(thread),
+            commits,
+            aborts,
+        }
+    }
+
+    #[test]
+    fn aggregation_sums_threads() {
+        let s = TmStats::from_threads(vec![ts(1, 10, 2), ts(2, 5, 3)]);
+        assert_eq!(s.commits, 15);
+        assert_eq!(s.aborts, 5);
+        assert!((s.aborts_per_commit() - 5.0 / 15.0).abs() < 1e-12);
+        assert!((s.success_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_neutral_ratios() {
+        let s = TmStats::default();
+        assert_eq!(s.aborts_per_commit(), 0.0);
+        assert_eq!(s.success_ratio(), 1.0);
+    }
+
+    #[test]
+    fn since_subtracts_counters() {
+        let early = TmStats::from_threads(vec![ts(1, 10, 4)]);
+        let late = TmStats::from_threads(vec![ts(1, 25, 9)]);
+        let d = late.since(&early);
+        assert_eq!(d.commits, 15);
+        assert_eq!(d.aborts, 5);
+    }
+
+    #[test]
+    fn thread_success_ratio() {
+        assert_eq!(ts(1, 0, 0).success_ratio(), 1.0);
+        assert!((ts(1, 3, 1).success_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = TmStats::from_threads(vec![ts(1, 4, 2)]);
+        let text = s.to_string();
+        assert!(text.contains("4 commits"), "{text}");
+        assert!(text.contains("2 aborts"), "{text}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Transactional arrays.
+//!
+//! A `TArray<T>` is a fixed-length sequence of independently versioned
+//! slots — the natural representation for the word-based workloads the
+//! paper's STMs were built for (grids, adjacency tables, hash buckets).
+//! Each slot is its own [`TVar`], so two transactions touching different
+//! slots never conflict, while the array type provides bounds-checked
+//! transactional access and whole-array helpers.
+
+use std::fmt;
+
+use crate::error::TxResult;
+use crate::tvar::{TVar, TxValue};
+use crate::txn::Tx;
+use crate::varid::VarId;
+
+/// A fixed-length array of transactional slots.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_stm::{TmRuntime, TArray};
+///
+/// let rt = TmRuntime::new();
+/// let grid = TArray::new(16, 0u32);
+///
+/// rt.run(|tx| {
+///     let v = grid.get(tx, 3)?;
+///     grid.set(tx, 3, v + 7)
+/// });
+/// assert_eq!(grid.snapshot(3), 7);
+/// ```
+pub struct TArray<T> {
+    slots: Vec<TVar<T>>,
+}
+
+impl<T: TxValue> TArray<T> {
+    /// Creates an array of `len` slots, each holding a clone of `value`.
+    pub fn new(len: usize, value: T) -> Self {
+        TArray {
+            slots: (0..len).map(|_| TVar::new(value.clone())).collect(),
+        }
+    }
+
+    /// Creates an array from an iterator of initial values.
+    pub fn from_values(values: impl IntoIterator<Item = T>) -> Self {
+        TArray {
+            slots: values.into_iter().map(TVar::new).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the array has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The variable identifier of slot `index` (for schedulers and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn id_of(&self, index: usize) -> VarId {
+        self.slots[index].id()
+    }
+
+    /// Transactionally reads slot `index`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get(&self, tx: &mut Tx<'_>, index: usize) -> TxResult<T> {
+        tx.read(&self.slots[index])
+    }
+
+    /// Transactionally writes slot `index`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set(&self, tx: &mut Tx<'_>, index: usize, value: T) -> TxResult<()> {
+        tx.write(&self.slots[index], value)
+    }
+
+    /// Transactionally applies `f` to slot `index`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn update(&self, tx: &mut Tx<'_>, index: usize, f: impl FnOnce(T) -> T) -> TxResult<()> {
+        tx.modify(&self.slots[index], f)
+    }
+
+    /// Transactionally reads the whole array in index order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn read_all(&self, tx: &mut Tx<'_>) -> TxResult<Vec<T>> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            out.push(tx.read(slot)?);
+        }
+        Ok(out)
+    }
+
+    /// Non-transactional read of slot `index` (latest committed value; no
+    /// cross-slot consistency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn snapshot(&self, index: usize) -> T {
+        self.slots[index].snapshot()
+    }
+}
+
+impl<T> fmt::Debug for TArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TArray(len={})", self.slots.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::TmRuntime;
+    use std::sync::Arc;
+
+    #[test]
+    fn construction_and_snapshot() {
+        let a = TArray::new(4, 9u64);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert_eq!(a.snapshot(2), 9);
+        let b = TArray::from_values([1u64, 2, 3]);
+        assert_eq!(b.snapshot(0), 1);
+        assert_eq!(b.snapshot(2), 3);
+    }
+
+    #[test]
+    fn slots_have_distinct_ids() {
+        let a = TArray::new(3, 0u8);
+        assert_ne!(a.id_of(0), a.id_of(1));
+        assert_ne!(a.id_of(1), a.id_of(2));
+    }
+
+    #[test]
+    fn transactional_get_set_update() {
+        let rt = TmRuntime::new();
+        let a = TArray::new(8, 0i64);
+        rt.run(|tx| {
+            a.set(tx, 1, 10)?;
+            a.update(tx, 1, |v| v * 3)
+        });
+        assert_eq!(a.snapshot(1), 30);
+        let all = rt.run(|tx| a.read_all(tx));
+        assert_eq!(all.iter().sum::<i64>(), 30);
+    }
+
+    #[test]
+    fn disjoint_slots_commute_under_concurrency() {
+        let rt = TmRuntime::new();
+        let a = Arc::new(TArray::new(4, 0u64));
+        let handles: Vec<_> = (0..4usize)
+            .map(|slot| {
+                let rt = rt.clone();
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        rt.run(|tx| a.update(tx, slot, |v| v + 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for slot in 0..4 {
+            assert_eq!(a.snapshot(slot), 500);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let rt = TmRuntime::new();
+        let a = TArray::new(2, 0u8);
+        rt.run(|tx| a.get(tx, 5));
+    }
+}

@@ -1,0 +1,141 @@
+//! Transactional variables.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::cell::ValueCell;
+use crate::varid::VarId;
+
+/// Marker trait for types that can live in a [`TVar`].
+///
+/// Blanket-implemented; listed explicitly so the requirements show up in
+/// one place: values are cloned out on read, sent across threads by the
+/// commit protocol, and destroyed by a background epoch collector.
+pub trait TxValue: Clone + Send + Sync + 'static {}
+
+impl<T: Clone + Send + Sync + 'static> TxValue for T {}
+
+pub(crate) struct TVarInner<T> {
+    pub(crate) id: VarId,
+    pub(crate) cell: ValueCell<T>,
+}
+
+/// A transactional variable: a shared cell readable and writable inside
+/// transactions.
+///
+/// `TVar<T>` is a cheap handle (an `Arc` internally); clone it freely to
+/// share between threads. For large payloads store an `Arc<Payload>` inside
+/// the `TVar` so that reads clone a pointer, not the payload.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_stm::{TmRuntime, TVar};
+///
+/// let rt = TmRuntime::new();
+/// let acc_a = TVar::new(100i64);
+/// let acc_b = TVar::new(0i64);
+///
+/// // Transfer 30 from A to B, atomically.
+/// rt.run(|tx| {
+///     let a = tx.read(&acc_a)?;
+///     let b = tx.read(&acc_b)?;
+///     tx.write(&acc_a, a - 30)?;
+///     tx.write(&acc_b, b + 30)
+/// });
+///
+/// assert_eq!(acc_a.snapshot(), 70);
+/// assert_eq!(acc_b.snapshot(), 30);
+/// ```
+pub struct TVar<T> {
+    pub(crate) inner: Arc<TVarInner<T>>,
+}
+
+impl<T: TxValue> TVar<T> {
+    /// Creates a new transactional variable holding `value`.
+    pub fn new(value: T) -> Self {
+        TVar {
+            inner: Arc::new(TVarInner {
+                id: VarId::fresh(),
+                cell: ValueCell::new(value),
+            }),
+        }
+    }
+
+    /// The stable identifier of this variable (the "address" that schedulers
+    /// predict and the orec table stripes on).
+    pub fn id(&self) -> VarId {
+        self.inner.id
+    }
+
+    /// Reads the latest installed value *outside* any transaction.
+    ///
+    /// This is atomic for the single variable but provides no consistency
+    /// across variables; use a transaction for multi-variable reads. Intended
+    /// for post-run verification and monitoring.
+    pub fn snapshot(&self) -> T {
+        self.inner.cell.load()
+    }
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TVar({})", self.inner.id)
+    }
+}
+
+impl<T: TxValue + Default> Default for TVar<T> {
+    fn default() -> Self {
+        TVar::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tvar_holds_value_and_fresh_id() {
+        let a = TVar::new(5u32);
+        let b = TVar::new(6u32);
+        assert_eq!(a.snapshot(), 5);
+        assert_eq!(b.snapshot(), 6);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn clones_share_identity_and_storage() {
+        let a = TVar::new(String::from("x"));
+        let b = a.clone();
+        assert_eq!(a.id(), b.id());
+        a.inner.cell.store(String::from("y"));
+        assert_eq!(b.snapshot(), "y");
+    }
+
+    #[test]
+    fn default_uses_value_default() {
+        let v: TVar<u64> = TVar::default();
+        assert_eq!(v.snapshot(), 0);
+    }
+
+    #[test]
+    fn debug_shows_id() {
+        let v = TVar::new(1u8);
+        assert!(format!("{v:?}").starts_with("TVar(v"));
+    }
+
+    #[test]
+    fn tvar_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TVar<u64>>();
+        assert_send_sync::<TVar<Vec<String>>>();
+    }
+}

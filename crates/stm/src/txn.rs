@@ -1,0 +1,505 @@
+//! The transaction engine: read/write protocol, validation, commit and
+//! rollback for both backends.
+//!
+//! Common skeleton (TL2/TinySTM family):
+//!
+//! * transactions snapshot the global clock at start (`start_ts`);
+//! * reads validate the guarding orec's version against `start_ts`,
+//!   *extending* the snapshot (revalidating the whole read log against the
+//!   current clock) when they encounter newer data;
+//! * writes acquire the orec eagerly — making the write **visible** to every
+//!   other thread, as Shrink requires — and buffer the value in a write log;
+//! * commit stamps a fresh clock value, validates the read log once more and
+//!   installs buffered values.
+//!
+//! Backend differences (see [`BackendKind`]):
+//!
+//! * **Swiss** — readers read *through* a write lock until the owner begins
+//!   committing (write/read conflicts are resolved lazily, at commit), and
+//!   write/write conflicts go through a two-phase contention manager: timid
+//!   (self-abort) while the transaction is small, greedy (kill the lighter
+//!   transaction) afterwards.
+//! * **Tiny** — readers and writers busy-wait on locked stripes with a
+//!   bounded spin budget and abort when it is exhausted (encounter-time
+//!   locking with suicide resolution).
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::backoff::pause;
+use crate::config::{BackendKind, CmPolicy};
+use crate::error::{Abort, AbortReason, TxResult};
+use crate::orec::OrecSnapshot;
+use crate::runtime::RuntimeInner;
+use crate::sched::SchedCtx;
+use crate::thread::{ThreadCtx, ThreadId};
+use crate::tvar::{TVar, TVarInner, TxValue};
+use crate::varid::VarId;
+
+/// One validated read: which stripe, and the version it had when read.
+#[derive(Clone, Copy, Debug)]
+struct ReadEntry {
+    orec: usize,
+    version: u64,
+}
+
+/// A buffered write that can be installed at commit.
+trait PendingWrite: Send {
+    fn install(&self);
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+struct TypedWrite<T> {
+    target: Arc<TVarInner<T>>,
+    value: T,
+}
+
+impl<T: TxValue> PendingWrite for TypedWrite<T> {
+    fn install(&self) {
+        self.target.cell.store(self.value.clone());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An in-flight transaction attempt.
+///
+/// Handed to the body closure by [`TmRuntime::run`](crate::TmRuntime::run);
+/// all transactional operations return [`TxResult`] so the body can
+/// propagate aborts with `?`.
+pub struct Tx<'rt> {
+    rt: &'rt RuntimeInner,
+    ctx: &'rt ThreadCtx,
+    me: ThreadId,
+    start_ts: u64,
+    read_log: Vec<ReadEntry>,
+    /// Every dynamic read, in order (may contain duplicates).
+    read_vars: Vec<VarId>,
+    write_log: Vec<Box<dyn PendingWrite>>,
+    /// Distinct written variables, in first-write order.
+    write_vars: Vec<VarId>,
+    write_index: HashMap<VarId, usize>,
+    owned_orecs: HashSet<usize>,
+    owned_order: Vec<usize>,
+    finished: bool,
+}
+
+impl<'rt> Tx<'rt> {
+    pub(crate) fn begin(rt: &'rt RuntimeInner, ctx: &'rt ThreadCtx) -> Self {
+        ctx.reset_accesses();
+        // Drop any kill request aimed at a previous attempt.
+        let _ = ctx.take_kill_request();
+        Tx {
+            rt,
+            ctx,
+            me: ctx.id(),
+            start_ts: rt.clock.now(),
+            read_log: Vec::new(),
+            read_vars: Vec::new(),
+            write_log: Vec::new(),
+            write_vars: Vec::new(),
+            write_index: HashMap::new(),
+            owned_orecs: HashSet::new(),
+            owned_order: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The id of the thread running this transaction.
+    pub fn thread(&self) -> ThreadId {
+        self.me
+    }
+
+    /// Number of dynamic reads so far.
+    pub fn read_count(&self) -> usize {
+        self.read_vars.len()
+    }
+
+    /// Number of distinct variables written so far.
+    pub fn write_count(&self) -> usize {
+        self.write_vars.len()
+    }
+
+    /// The snapshot timestamp the attempt currently validates against.
+    pub fn start_timestamp(&self) -> u64 {
+        self.start_ts
+    }
+
+    /// Requests an abort-and-retry of this attempt.
+    ///
+    /// # Errors
+    ///
+    /// Always returns `Err` with [`AbortReason::UserRestart`]; intended to be
+    /// propagated with `?` or returned directly from the body.
+    pub fn restart<T>(&self) -> TxResult<T> {
+        Err(Abort::new(AbortReason::UserRestart))
+    }
+
+    fn sched_ctx(&self) -> SchedCtx<'_> {
+        SchedCtx {
+            thread: self.me,
+            visible: &self.rt.orecs,
+        }
+    }
+
+    #[inline]
+    fn check_kill(&self) -> TxResult<()> {
+        if self.ctx.kill_pending() {
+            let _ = self.ctx.take_kill_request();
+            Err(Abort::new(AbortReason::Killed))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Transactionally reads `tvar`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts (for the retry loop to handle) on validation failure, lock
+    /// wait timeout, or a contention-manager kill.
+    pub fn read<T: TxValue>(&mut self, tvar: &TVar<T>) -> TxResult<T> {
+        self.check_kill()?;
+        self.ctx.bump_accesses();
+        let var = tvar.inner.id;
+
+        // Read-own-write.
+        if let Some(&i) = self.write_index.get(&var) {
+            let w = self.write_log[i]
+                .as_any()
+                .downcast_ref::<TypedWrite<T>>()
+                .expect("write log entry type mismatch");
+            self.read_vars.push(var);
+            self.rt.scheduler.on_read(&self.sched_ctx(), var);
+            return Ok(w.value.clone());
+        }
+
+        let idx = self.rt.orecs.index_of(var);
+        let mut spins: u32 = 0;
+        loop {
+            self.check_kill()?;
+            let orec = self.rt.orecs.at(idx);
+            let s1 = orec.snapshot();
+
+            if s1.locked_by(self.me) {
+                // Stripe aliasing: I own the stripe through a write to some
+                // other variable. Buffered writes install only at commit, so
+                // the cell still holds the committed value, guarded by the
+                // preserved pre-lock version.
+                let value = tvar.inner.cell.load();
+                if s1.version() > self.start_ts {
+                    self.extend()?;
+                }
+                self.record_read(idx, s1.version(), var);
+                return Ok(value);
+            }
+
+            if s1.locked_by_other(self.me) {
+                match self.rt.config.backend {
+                    BackendKind::Swiss => {
+                        if s1.committing() {
+                            // Owner is installing values; wait briefly.
+                            if spins >= self.rt.config.read_spin_budget {
+                                return Err(Abort::on_conflict(
+                                    AbortReason::LockTimeout,
+                                    var,
+                                    s1.owner(),
+                                ));
+                            }
+                            pause(self.rt.config.wait_policy, spins);
+                            spins += 1;
+                            continue;
+                        }
+                        // Owner still executing: its writes are buffered, so
+                        // the committed value is still in the cell.
+                        let value = tvar.inner.cell.load();
+                        let s2 = orec.snapshot();
+                        if s2 != s1 {
+                            spins += 1;
+                            continue;
+                        }
+                        if s1.version() > self.start_ts {
+                            self.extend()?;
+                        }
+                        self.record_read(idx, s1.version(), var);
+                        return Ok(value);
+                    }
+                    BackendKind::Tiny => {
+                        // Encounter-time locking: busy-wait for the writer.
+                        if spins >= self.rt.config.lock_spin_budget {
+                            return Err(Abort::on_conflict(
+                                AbortReason::LockTimeout,
+                                var,
+                                s1.owner(),
+                            ));
+                        }
+                        pause(self.rt.config.wait_policy, spins);
+                        spins += 1;
+                        continue;
+                    }
+                }
+            }
+
+            // Unlocked: load, then confirm the orec did not move under us.
+            let value = tvar.inner.cell.load();
+            let s2 = orec.snapshot();
+            if s2 != s1 {
+                spins += 1;
+                continue;
+            }
+            if s1.version() > self.start_ts {
+                self.extend()?;
+            }
+            self.record_read(idx, s1.version(), var);
+            return Ok(value);
+        }
+    }
+
+    fn record_read(&mut self, orec: usize, version: u64, var: VarId) {
+        self.read_log.push(ReadEntry { orec, version });
+        self.read_vars.push(var);
+        self.rt.scheduler.on_read(&self.sched_ctx(), var);
+    }
+
+    /// Transactionally writes `value` into `tvar`.
+    ///
+    /// The write lock is acquired immediately (visible writes); the value is
+    /// buffered and installed at commit.
+    ///
+    /// # Errors
+    ///
+    /// Aborts on write/write conflict resolution against this transaction,
+    /// lock wait timeout, or a contention-manager kill.
+    pub fn write<T: TxValue>(&mut self, tvar: &TVar<T>, value: T) -> TxResult<()> {
+        self.check_kill()?;
+        self.ctx.bump_accesses();
+        let var = tvar.inner.id;
+
+        if let Some(&i) = self.write_index.get(&var) {
+            let w = self.write_log[i]
+                .as_any_mut()
+                .downcast_mut::<TypedWrite<T>>()
+                .expect("write log entry type mismatch");
+            w.value = value;
+            return Ok(());
+        }
+
+        let idx = self.rt.orecs.index_of(var);
+        if !self.owned_orecs.contains(&idx) {
+            self.acquire_stripe(idx, var)?;
+        }
+        self.write_log.push(Box::new(TypedWrite {
+            target: Arc::clone(&tvar.inner),
+            value,
+        }));
+        self.write_index.insert(var, self.write_log.len() - 1);
+        self.write_vars.push(var);
+        self.rt.scheduler.on_write(&self.sched_ctx(), var);
+        Ok(())
+    }
+
+    /// Reads, applies `f`, and writes back — the common read-modify-write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates aborts from the underlying read and write.
+    pub fn modify<T: TxValue>(&mut self, tvar: &TVar<T>, f: impl FnOnce(T) -> T) -> TxResult<()> {
+        let current = self.read(tvar)?;
+        self.write(tvar, f(current))
+    }
+
+    fn acquire_stripe(&mut self, idx: usize, var: VarId) -> TxResult<()> {
+        let mut spins: u32 = 0;
+        let mut polite_attempts: u32 = 0;
+        let mut requested_kill = false;
+        let cm = self.rt.config.effective_cm();
+        loop {
+            self.check_kill()?;
+            let orec = self.rt.orecs.at(idx);
+            let s1 = orec.snapshot();
+
+            if s1.locked_by_other(self.me) {
+                let owner = s1.owner();
+                let lose = || Abort::on_conflict(AbortReason::WriteConflict, var, owner);
+                match cm {
+                    CmPolicy::BackendDefault => unreachable!("resolved by effective_cm"),
+                    CmPolicy::Suicide => {
+                        // Bounded busy-wait, then abort self.
+                        if spins >= self.rt.config.lock_spin_budget {
+                            return Err(lose());
+                        }
+                        pause(self.rt.config.wait_policy, spins);
+                        spins += 1;
+                        continue;
+                    }
+                    CmPolicy::Polite => {
+                        // Exponentially growing patience, then abort self.
+                        if polite_attempts >= self.rt.config.polite_retries {
+                            return Err(lose());
+                        }
+                        let patience = 16u32 << polite_attempts.min(10);
+                        for i in 0..patience {
+                            pause(self.rt.config.wait_policy, i);
+                        }
+                        polite_attempts += 1;
+                        continue;
+                    }
+                    CmPolicy::TwoPhase | CmPolicy::Karma => {
+                        let my_work = self.ctx.accesses();
+                        if cm == CmPolicy::TwoPhase && my_work <= self.rt.config.cm_timid_threshold
+                        {
+                            // Timid phase: young transactions lose quietly.
+                            return Err(lose());
+                        }
+                        let victim = self.rt.registry.get(owner);
+                        match victim {
+                            Some(v) if v.accesses() < my_work => {
+                                // Priority phase: I did more work; kill the
+                                // owner and wait (bounded) for it to release.
+                                if !requested_kill {
+                                    v.request_kill();
+                                    requested_kill = true;
+                                }
+                                if spins >= self.rt.config.kill_wait_budget {
+                                    return Err(lose());
+                                }
+                                pause(self.rt.config.wait_policy, spins);
+                                spins += 1;
+                                continue;
+                            }
+                            _ => {
+                                // Owner has priority (or vanished): I lose.
+                                return Err(lose());
+                            }
+                        }
+                    }
+                }
+            }
+
+            if s1.locked() {
+                // Owned by me but not in owned_orecs — impossible by
+                // construction; treat as a racing snapshot and retry.
+                spins += 1;
+                continue;
+            }
+
+            if s1.version() > self.start_ts {
+                self.extend()?;
+            }
+            if orec.try_lock(s1, self.me) {
+                self.owned_orecs.insert(idx);
+                self.owned_order.push(idx);
+                return Ok(());
+            }
+            spins += 1;
+        }
+    }
+
+    /// Revalidates the read log and, on success, moves the snapshot forward
+    /// to the current clock (TinySTM-style timestamp extension).
+    fn extend(&mut self) -> TxResult<()> {
+        let candidate = self.rt.clock.now();
+        if self.read_log_valid() {
+            self.start_ts = candidate;
+            Ok(())
+        } else {
+            Err(Abort::new(AbortReason::ReadValidation))
+        }
+    }
+
+    fn entry_valid(&self, entry: &ReadEntry, snap: OrecSnapshot) -> bool {
+        if snap.locked_by(self.me) {
+            snap.version() == entry.version
+        } else if snap.locked_by_other(self.me) {
+            // Swiss resolves read/write conflicts lazily: a lock whose owner
+            // has not committed (version unchanged, not installing) does not
+            // invalidate the read. Tiny is conservative.
+            self.rt.config.backend == BackendKind::Swiss
+                && !snap.committing()
+                && snap.version() == entry.version
+        } else {
+            snap.version() == entry.version
+        }
+    }
+
+    fn read_log_valid(&self) -> bool {
+        self.read_log
+            .iter()
+            .all(|e| self.entry_valid(e, self.rt.orecs.at(e.orec).snapshot()))
+    }
+
+    /// Attempts to commit. On success the buffered writes are installed and
+    /// all locks released; on failure the caller must invoke
+    /// [`rollback`](Tx::rollback).
+    pub(crate) fn try_commit(&mut self) -> Result<(), Abort> {
+        self.check_kill()?;
+        if self.write_log.is_empty() {
+            // Read-only: the incremental validation performed at each read
+            // already guarantees a consistent snapshot.
+            self.finished = true;
+            return Ok(());
+        }
+        for &idx in &self.owned_order {
+            self.rt.orecs.at(idx).begin_commit(self.me);
+        }
+        let commit_ts = self.rt.clock.tick();
+        if commit_ts > self.start_ts + 1 && !self.read_log_valid() {
+            return Err(Abort::new(AbortReason::CommitValidation));
+        }
+        for w in &self.write_log {
+            w.install();
+        }
+        for &idx in &self.owned_order {
+            self.rt.orecs.at(idx).unlock_commit(self.me, commit_ts);
+        }
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Releases every held lock after a failed attempt.
+    pub(crate) fn rollback(&mut self) {
+        if self.finished {
+            return;
+        }
+        for &idx in &self.owned_order {
+            self.rt.orecs.at(idx).unlock_abort(self.me);
+        }
+        let _ = self.ctx.take_kill_request();
+        self.finished = true;
+    }
+
+    /// Extracts the access logs for the scheduler hooks.
+    pub(crate) fn take_logs(&mut self) -> (Vec<VarId>, Vec<VarId>) {
+        (
+            std::mem::take(&mut self.read_vars),
+            std::mem::take(&mut self.write_vars),
+        )
+    }
+}
+
+impl Drop for Tx<'_> {
+    fn drop(&mut self) {
+        // Panic safety: a body that unwinds must not leave stripes locked.
+        self.rollback();
+    }
+}
+
+impl fmt::Debug for Tx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tx")
+            .field("thread", &self.me)
+            .field("start_ts", &self.start_ts)
+            .field("reads", &self.read_vars.len())
+            .field("writes", &self.write_vars.len())
+            .finish()
+    }
+}

@@ -1,0 +1,219 @@
+//! Adaptive Transaction Scheduling as a makespan simulator (Theorem 1,
+//! Figure 2(b)).
+//!
+//! The paper's formalization: transactions execute as soon as available;
+//! a transaction that aborts `k` times is added to a sequence `Q`, whose
+//! members are scheduled one after another. Conflicts are detected at
+//! commit time: a transaction attempting to commit while a conflicting,
+//! *earlier-started* transaction is still running (inclusive of the same
+//! instant) aborts and retries.
+
+use std::collections::VecDeque;
+
+use crate::job::{Instance, JobId};
+use crate::sim::{release_events, SimResult};
+
+/// Simulates ATS with abort threshold `k`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero (a transaction must be allowed at least one
+/// attempt before being serialized).
+pub fn ats_makespan(instance: &Instance, k: u32) -> SimResult {
+    assert!(k > 0, "ATS threshold must be positive");
+    let n = instance.len();
+    if n == 0 {
+        return SimResult {
+            makespan: 0,
+            aborts: 0,
+        };
+    }
+    let graph = instance.conflicts();
+    let mut released = vec![false; n];
+    let mut finished = vec![false; n];
+    let mut queued = vec![false; n];
+    let mut abort_count = vec![0u32; n];
+    let mut attempt_start = vec![0u64; n];
+    // A conflicting transaction committed during this attempt's window, so
+    // the attempt is doomed to abort at its commit point.
+    let mut doomed = vec![false; n];
+    let mut queue: VecDeque<JobId> = VecDeque::new();
+    let mut aborts: u64 = 0;
+    let mut t: u64 = 0;
+    let events = release_events(instance);
+    let mut next_event_idx = 0;
+    let mut makespan = 0;
+
+    // A job runs if it is released, unfinished and either unqueued or the
+    // queue head.
+    let is_running = |id: JobId,
+                      released: &[bool],
+                      finished: &[bool],
+                      queued: &[bool],
+                      queue: &VecDeque<JobId>| {
+        released[id] && !finished[id] && (!queued[id] || queue.front() == Some(&id))
+    };
+
+    loop {
+        // 1. Releases at t.
+        while next_event_idx < events.len() && events[next_event_idx] <= t {
+            let r = events[next_event_idx];
+            for id in instance.ids() {
+                if instance.job(id).release == r && !released[id] {
+                    released[id] = true;
+                    attempt_start[id] = t;
+                }
+            }
+            next_event_idx += 1;
+        }
+
+        // 2. Commit attempts at t. Snapshot the running set first so that
+        //    transactions finishing at the same instant still count as
+        //    conflicting (the closed-window rule the paper's Figure 2(b)
+        //    analysis implies).
+        let snapshot: Vec<JobId> = instance
+            .ids()
+            .filter(|&id| is_running(id, &released, &finished, &queued, &queue))
+            .collect();
+        let mut completing: Vec<JobId> = snapshot
+            .iter()
+            .copied()
+            .filter(|&id| attempt_start[id] + instance.job(id).exec == t)
+            .collect();
+        completing.sort_by_key(|&id| (attempt_start[id], id));
+        for &id in &completing {
+            // A completing transaction loses if (a) a conflicting
+            // transaction committed during its window (it is doomed), or
+            // (b) a conflicting transaction that started earlier (ties by
+            // id — the older-wins contention manager) is still running,
+            // even if that winner commits at this very instant.
+            let loses = doomed[id]
+                || snapshot.iter().any(|&other| {
+                    other != id
+                        && graph.conflicts(id, other)
+                        && (attempt_start[other], other) < (attempt_start[id], id)
+                });
+            if loses {
+                aborts += 1;
+                abort_count[id] += 1;
+                attempt_start[id] = t;
+                doomed[id] = false;
+                if abort_count[id] >= k && !queued[id] {
+                    queued[id] = true;
+                    queue.push_back(id);
+                }
+            } else {
+                finished[id] = true;
+                makespan = makespan.max(t);
+                // The commit dooms every overlapping conflicting attempt.
+                for other in instance.ids() {
+                    if other != id
+                        && graph.conflicts(id, other)
+                        && is_running(other, &released, &finished, &queued, &queue)
+                    {
+                        doomed[other] = true;
+                    }
+                }
+                if queue.front() == Some(&id) {
+                    queue.pop_front();
+                    if let Some(&next_head) = queue.front() {
+                        attempt_start[next_head] = t;
+                    }
+                }
+            }
+        }
+
+        if finished.iter().zip(&released).all(|(&f, &r)| f || !r) && next_event_idx >= events.len()
+        {
+            return SimResult { makespan, aborts };
+        }
+
+        // 3. Advance to the next event.
+        let running: Vec<JobId> = instance
+            .ids()
+            .filter(|&id| is_running(id, &released, &finished, &queued, &queue))
+            .collect();
+        let next_completion = running
+            .iter()
+            .map(|&id| attempt_start[id] + instance.job(id).exec)
+            .filter(|&c| c > t)
+            .min();
+        let next_release = events.get(next_event_idx).copied();
+        let next_t = match (next_completion, next_release) {
+            (Some(c), Some(r)) => c.min(r),
+            (Some(c), None) => c,
+            (None, Some(r)) => r,
+            (None, None) => {
+                debug_assert!(
+                    running.is_empty(),
+                    "running jobs must produce a completion event"
+                );
+                return SimResult { makespan, aborts };
+            }
+        };
+        t = next_t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{ConflictGraph, Job};
+    use crate::scenarios::ats_hub;
+
+    #[test]
+    fn independent_jobs_commit_first_try() {
+        let inst = Instance::new(vec![Job::new(0, 3); 5], ConflictGraph::new(5));
+        let r = ats_makespan(&inst, 2);
+        assert_eq!(r.makespan, 3);
+        assert_eq!(r.aborts, 0);
+    }
+
+    #[test]
+    fn figure_2b_hub_gives_k_plus_n_minus_one() {
+        // Paper: ATS has makespan k + n − 1 where OPT = k + 1.
+        for (n, k) in [(4usize, 2u32), (8, 3), (16, 4), (24, 2)] {
+            let inst = ats_hub(n, k as u64);
+            let r = ats_makespan(&inst, k);
+            assert_eq!(
+                r.makespan,
+                k as u64 + n as u64 - 1,
+                "hub family n={n} k={k}"
+            );
+            assert_eq!(inst.known_opt(), Some(k as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn earlier_started_transaction_wins_commit_race() {
+        let mut g = ConflictGraph::new(2);
+        g.add_conflict(0, 1);
+        // Same exec, same release: job 0 (lower id breaks the tie) commits,
+        // job 1 aborts once and reruns.
+        let inst = Instance::new(vec![Job::new(0, 2); 2], g);
+        let r = ats_makespan(&inst, 10);
+        assert_eq!(r.makespan, 4);
+        assert_eq!(r.aborts, 1);
+    }
+
+    #[test]
+    fn queue_drains_serially() {
+        // Three mutually conflicting unit jobs, k = 1: first round commits
+        // job 0 and queues jobs 1 and 2, which then drain one at a time.
+        let mut g = ConflictGraph::new(3);
+        g.add_conflict(0, 1);
+        g.add_conflict(0, 2);
+        g.add_conflict(1, 2);
+        let inst = Instance::new(vec![Job::new(0, 1); 3], g);
+        let r = ats_makespan(&inst, 1);
+        assert_eq!(r.makespan, 3);
+        assert_eq!(r.aborts, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let inst = Instance::new(vec![Job::new(0, 1)], ConflictGraph::new(1));
+        let _ = ats_makespan(&inst, 0);
+    }
+}

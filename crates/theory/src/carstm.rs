@@ -1,0 +1,178 @@
+//! The **Serializer** contention manager of CAR-STM, as a makespan
+//! simulator (Theorem 1, Figure 2(a)).
+//!
+//! Every transaction starts on its own core. Transactions run speculatively
+//! in parallel; when two running transactions conflict, the one with less
+//! progress (ties: the higher id) aborts and is appended to the *winner's*
+//! core queue, so the pair can never conflict again. Cores drain their
+//! queues serially — which is exactly what makes Serializer Ω(n) on the
+//! star family: every transaction that conflicts with the hub piles onto
+//! one core.
+
+use std::collections::VecDeque;
+
+use crate::job::{Instance, JobId};
+use crate::sim::{release_events, SimResult};
+
+/// Simulates the CAR-STM Serializer.
+pub fn serializer_makespan(instance: &Instance) -> SimResult {
+    let n = instance.len();
+    if n == 0 {
+        return SimResult {
+            makespan: 0,
+            aborts: 0,
+        };
+    }
+    let graph = instance.conflicts();
+    let mut queues: Vec<VecDeque<JobId>> = vec![VecDeque::new(); n];
+    let mut core_of: Vec<usize> = (0..n).collect();
+    let mut progress: Vec<u64> = vec![0; n];
+    let mut finished = vec![false; n];
+    let mut released = vec![false; n];
+    let mut aborts: u64 = 0;
+    let mut t: u64 = 0;
+    let events = release_events(instance);
+    let mut next_event_idx = 0;
+
+    let mut makespan = 0;
+    loop {
+        // 1. Releases at time t: each job joins its own core's queue.
+        while next_event_idx < events.len() && events[next_event_idx] <= t {
+            let r = events[next_event_idx];
+            for id in instance.ids() {
+                if instance.job(id).release == r && !released[id] {
+                    released[id] = true;
+                    queues[core_of[id]].push_back(id);
+                }
+            }
+            next_event_idx += 1;
+        }
+
+        // 2. Completions at time t.
+        for core in 0..n {
+            if let Some(&head) = queues[core].front() {
+                if progress[head] >= instance.job(head).exec {
+                    finished[head] = true;
+                    makespan = makespan.max(t);
+                    queues[core].pop_front();
+                }
+            }
+        }
+
+        if finished.iter().zip(&released).all(|(&f, &r)| f || !r) && next_event_idx >= events.len()
+        {
+            return SimResult { makespan, aborts };
+        }
+
+        // 3. Conflict resolution among running heads, to fixpoint.
+        loop {
+            let running: Vec<JobId> = (0..n)
+                .filter_map(|core| queues[core].front().copied())
+                .collect();
+            let mut resolved = None;
+            'search: for (i, &a) in running.iter().enumerate() {
+                for &b in &running[i + 1..] {
+                    if graph.conflicts(a, b) {
+                        // Less progress loses; ties go against the higher id.
+                        let loser =
+                            if progress[a] < progress[b] || (progress[a] == progress[b] && a > b) {
+                                a
+                            } else {
+                                b
+                            };
+                        let winner = if loser == a { b } else { a };
+                        resolved = Some((winner, loser));
+                        break 'search;
+                    }
+                }
+            }
+            match resolved {
+                Some((winner, loser)) => {
+                    aborts += 1;
+                    progress[loser] = 0;
+                    let old_core = core_of[loser];
+                    let popped = queues[old_core].pop_front();
+                    debug_assert_eq!(popped, Some(loser));
+                    let new_core = core_of[winner];
+                    core_of[loser] = new_core;
+                    queues[new_core].push_back(loser);
+                }
+                None => break,
+            }
+        }
+
+        // 4. Advance to the next event.
+        let running: Vec<JobId> = (0..n)
+            .filter_map(|core| queues[core].front().copied())
+            .collect();
+        let next_completion = running
+            .iter()
+            .map(|&id| t + (instance.job(id).exec - progress[id]))
+            .min();
+        let next_release = events.get(next_event_idx).copied();
+        let next_t = match (next_completion, next_release) {
+            (Some(c), Some(r)) => c.min(r),
+            (Some(c), None) => c,
+            (None, Some(r)) => r,
+            (None, None) => {
+                return SimResult { makespan, aborts };
+            }
+        };
+        let dt = next_t - t;
+        for &id in &running {
+            progress[id] += dt;
+        }
+        t = next_t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{ConflictGraph, Job};
+    use crate::scenarios::serializer_star;
+
+    #[test]
+    fn independent_jobs_run_fully_parallel() {
+        let inst = Instance::new(vec![Job::new(0, 4); 6], ConflictGraph::new(6));
+        let r = serializer_makespan(&inst);
+        assert_eq!(r.makespan, 4);
+        assert_eq!(r.aborts, 0);
+    }
+
+    #[test]
+    fn conflicting_pair_costs_one_abort() {
+        let mut g = ConflictGraph::new(2);
+        g.add_conflict(0, 1);
+        let inst = Instance::new(vec![Job::new(0, 1); 2], g);
+        let r = serializer_makespan(&inst);
+        assert_eq!(r.makespan, 2, "loser reruns after winner");
+        assert_eq!(r.aborts, 1);
+    }
+
+    #[test]
+    fn figure_2a_star_gives_linear_makespan() {
+        // Paper: Serializer needs makespan n where OPT = 2.
+        for n in [4usize, 8, 16, 32] {
+            let inst = serializer_star(n);
+            let r = serializer_makespan(&inst);
+            assert_eq!(
+                r.makespan, n as u64,
+                "star of {n} transactions must serialize fully"
+            );
+            assert_eq!(inst.known_opt(), Some(2));
+        }
+    }
+
+    #[test]
+    fn respects_release_times() {
+        let inst = Instance::new(vec![Job::new(3, 2), Job::new(0, 1)], ConflictGraph::new(2));
+        assert_eq!(serializer_makespan(&inst).makespan, 5);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(Vec::new(), ConflictGraph::new(0));
+        assert_eq!(serializer_makespan(&inst).makespan, 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Competitive-ratio experiments for Theorems 1–3.
+//!
+//! Each row pits a scheduler against the known/estimated offline optimum on
+//! one instance; the sweep functions reproduce the paper's asymptotic
+//! claims numerically:
+//!
+//! * Serializer on the star family — ratio `n / 2` (Theorem 1);
+//! * ATS on the hub family — ratio `(k + n − 1) / (k + 1)` (Theorem 1);
+//! * Restart on anything — ratio ≤ 2 (Theorem 2);
+//! * Inaccurate on the independent family with the all-share-R₁ belief —
+//!   ratio `n` (Theorem 3).
+
+use std::fmt;
+
+use crate::atssim::ats_makespan;
+use crate::carstm::serializer_makespan;
+use crate::greedy::greedy_makespan;
+use crate::job::Instance;
+use crate::opt::opt_estimate;
+use crate::restart::{inaccurate_makespan, restart_makespan};
+use crate::scenarios;
+use crate::sim::SimResult;
+
+/// One measured point of a competitive-ratio sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RatioPoint {
+    /// Instance size (number of transactions).
+    pub n: usize,
+    /// The scheduler's makespan.
+    pub makespan: u64,
+    /// Aborted executions along the way.
+    pub aborts: u64,
+    /// The optimum used as the denominator.
+    pub opt: u64,
+    /// `makespan / opt`.
+    pub ratio: f64,
+}
+
+impl fmt::Display for RatioPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={:<5} makespan={:<7} opt={:<5} ratio={:.3} aborts={}",
+            self.n, self.makespan, self.opt, self.ratio, self.aborts
+        )
+    }
+}
+
+fn point(n: usize, result: SimResult, opt: u64) -> RatioPoint {
+    RatioPoint {
+        n,
+        makespan: result.makespan,
+        aborts: result.aborts,
+        opt,
+        ratio: result.ratio(opt),
+    }
+}
+
+/// Serializer on the Figure 2(a) star family for each `n`.
+pub fn serializer_sweep(sizes: &[usize]) -> Vec<RatioPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let inst = scenarios::serializer_star(n);
+            let opt = inst.known_opt().expect("family has closed-form OPT");
+            point(n, serializer_makespan(&inst), opt)
+        })
+        .collect()
+}
+
+/// ATS (threshold `k`) on the Figure 2(b) hub family for each `n`.
+pub fn ats_sweep(sizes: &[usize], k: u32) -> Vec<RatioPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let inst = scenarios::ats_hub(n, k as u64);
+            let opt = inst.known_opt().expect("family has closed-form OPT");
+            point(n, ats_makespan(&inst, k), opt)
+        })
+        .collect()
+}
+
+/// Restart on seeded random simultaneous-release instances of each size
+/// (sizes must stay within the exact planner's limit).
+pub fn restart_sweep(sizes: &[usize], seed: u64) -> Vec<RatioPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let inst = scenarios::random_instance(n, 4, 96, seed ^ n as u64);
+            let opt = opt_estimate(&inst);
+            point(n, restart_makespan(&inst), opt)
+        })
+        .collect()
+}
+
+/// Inaccurate on the Theorem 3 family for each `n`.
+pub fn inaccurate_sweep(sizes: &[usize]) -> Vec<RatioPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let inst = scenarios::independent_unit(n);
+            let belief = scenarios::inaccurate_belief(n);
+            let opt = inst.known_opt().expect("family has closed-form OPT");
+            point(n, inaccurate_makespan(&inst, &belief), opt)
+        })
+        .collect()
+}
+
+/// Greedy (Motwani's 3-competitive scheduler) on the same random instances
+/// as [`restart_sweep`], for comparison.
+pub fn greedy_sweep(sizes: &[usize], seed: u64) -> Vec<RatioPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let inst = scenarios::random_instance(n, 4, 96, seed ^ n as u64);
+            let opt = opt_estimate(&inst);
+            point(n, greedy_makespan(&inst), opt)
+        })
+        .collect()
+}
+
+/// Convenience: every scheduler on one instance.
+pub fn head_to_head(instance: &Instance, ats_k: u32) -> Vec<(&'static str, RatioPoint)> {
+    let opt = opt_estimate(instance);
+    let n = instance.len();
+    vec![
+        ("restart", point(n, restart_makespan(instance), opt)),
+        ("greedy", point(n, greedy_makespan(instance), opt)),
+        ("serializer", point(n, serializer_makespan(instance), opt)),
+        ("ats", point(n, ats_makespan(instance, ats_k), opt)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializer_ratio_grows_linearly() {
+        let points = serializer_sweep(&[4, 8, 16, 32]);
+        for p in &points {
+            assert!((p.ratio - p.n as f64 / 2.0).abs() < 1e-9, "{p}");
+        }
+        assert!(points.windows(2).all(|w| w[1].ratio > w[0].ratio));
+    }
+
+    #[test]
+    fn ats_ratio_grows_linearly() {
+        let k = 3;
+        let points = ats_sweep(&[4, 8, 16], k);
+        for p in &points {
+            let expected = (k as f64 + p.n as f64 - 1.0) / (k as f64 + 1.0);
+            assert!((p.ratio - expected).abs() < 1e-9, "{p}");
+        }
+    }
+
+    #[test]
+    fn restart_stays_two_competitive_against_batch_opt() {
+        // opt_estimate for simultaneous-release small instances is the
+        // exact batch optimum, which Restart itself follows: ratio 1 here
+        // (no mid-run releases), and never above 2 by Theorem 2.
+        for p in restart_sweep(&[4, 6, 8, 10], 7) {
+            assert!(p.ratio <= 2.0 + 1e-9, "{p}");
+        }
+    }
+
+    #[test]
+    fn inaccurate_ratio_is_n() {
+        for p in inaccurate_sweep(&[2, 4, 8, 16]) {
+            assert!((p.ratio - p.n as f64).abs() < 1e-9, "{p}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_reasonable_on_random_instances() {
+        for p in greedy_sweep(&[4, 6, 8], 11) {
+            assert!(p.ratio <= 3.0 + 1e-9, "{p}");
+        }
+    }
+
+    #[test]
+    fn head_to_head_reports_all_schedulers() {
+        let inst = scenarios::serializer_star(6);
+        let rows = head_to_head(&inst, 2);
+        assert_eq!(rows.len(), 4);
+        let restart = rows.iter().find(|(name, _)| *name == "restart").unwrap();
+        let serializer = rows.iter().find(|(n, _)| *n == "serializer").unwrap();
+        assert!(restart.1.makespan <= serializer.1.makespan);
+    }
+}

@@ -1,0 +1,279 @@
+//! Transactions-as-jobs: the input language of the scheduling model.
+//!
+//! Section 2 of the paper adopts the non-clairvoyant scheduling framework of
+//! Motwani, Phillips & Torng: a set of jobs (transactions) with release
+//! times and execution times, plus a *conflict graph* whose edges mark pairs
+//! that may not execute simultaneously. The processing environment has
+//! unboundedly many processors; a scheduler's quality is its makespan.
+
+use std::fmt;
+
+/// Index of a job within an [`Instance`].
+pub type JobId = usize;
+
+/// One transaction in the scheduling model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// Time at which the job becomes available (`Rᵢ`).
+    pub release: u64,
+    /// Processing time required to complete (`Eᵢ`).
+    pub exec: u64,
+}
+
+impl Job {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec` is zero: the model's transactions take time.
+    pub fn new(release: u64, exec: u64) -> Self {
+        assert!(exec > 0, "execution time must be positive");
+        Job { release, exec }
+    }
+}
+
+/// An undirected conflict graph over `n` jobs, stored as bit rows.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConflictGraph {
+    n: usize,
+    rows: Vec<Vec<u64>>,
+}
+
+impl ConflictGraph {
+    /// Creates an edgeless graph over `n` jobs.
+    pub fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        ConflictGraph {
+            n,
+            rows: vec![vec![0; words]; n],
+        }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the graph covers no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Declares that jobs `a` and `b` conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids or a self-loop.
+    pub fn add_conflict(&mut self, a: JobId, b: JobId) {
+        assert!(a < self.n && b < self.n, "job id out of range");
+        assert_ne!(a, b, "a job does not conflict with itself");
+        self.rows[a][b / 64] |= 1 << (b % 64);
+        self.rows[b][a / 64] |= 1 << (a % 64);
+    }
+
+    /// True if `a` and `b` conflict.
+    pub fn conflicts(&self, a: JobId, b: JobId) -> bool {
+        self.rows[a][b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// True if `job` conflicts with any member of `set`.
+    pub fn conflicts_with_any<'a>(
+        &self,
+        job: JobId,
+        set: impl IntoIterator<Item = &'a JobId>,
+    ) -> bool {
+        set.into_iter().any(|&other| self.conflicts(job, other))
+    }
+
+    /// True if `set` is pairwise conflict-free.
+    pub fn is_independent(&self, set: &[JobId]) -> bool {
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if self.conflicts(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Degree of `job` in the conflict graph.
+    pub fn degree(&self, job: JobId) -> usize {
+        self.rows[job].iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// All neighbours of `job`.
+    pub fn neighbours(&self, job: JobId) -> Vec<JobId> {
+        (0..self.n).filter(|&o| self.conflicts(job, o)).collect()
+    }
+
+    /// Adds every edge of `other` into `self` (graphs must be same size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn union_with(&mut self, other: &ConflictGraph) {
+        assert_eq!(self.n, other.n, "graph size mismatch");
+        for (row, other_row) in self.rows.iter_mut().zip(&other.rows) {
+            for (w, ow) in row.iter_mut().zip(other_row) {
+                *w |= *ow;
+            }
+        }
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        (0..self.n).map(|j| self.degree(j)).sum::<usize>() / 2
+    }
+}
+
+impl fmt::Debug for ConflictGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConflictGraph")
+            .field("jobs", &self.n)
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+/// A scheduling problem: jobs plus their conflict graph.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    jobs: Vec<Job>,
+    conflicts: ConflictGraph,
+    /// Closed-form optimal makespan if the instance was built by a scenario
+    /// generator that knows it.
+    known_opt: Option<u64>,
+}
+
+impl Instance {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conflict graph size differs from the job count.
+    pub fn new(jobs: Vec<Job>, conflicts: ConflictGraph) -> Self {
+        assert_eq!(jobs.len(), conflicts.len(), "graph must cover all jobs");
+        Instance {
+            jobs,
+            conflicts,
+            known_opt: None,
+        }
+    }
+
+    /// Attaches the analytically known optimal makespan.
+    pub fn with_known_opt(mut self, opt: u64) -> Self {
+        self.known_opt = Some(opt);
+        self
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if there are no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// One job.
+    pub fn job(&self, id: JobId) -> Job {
+        self.jobs[id]
+    }
+
+    /// The conflict graph.
+    pub fn conflicts(&self) -> &ConflictGraph {
+        &self.conflicts
+    }
+
+    /// Analytically known OPT, if any.
+    pub fn known_opt(&self) -> Option<u64> {
+        self.known_opt
+    }
+
+    /// Latest release time (`R_max`); 0 for empty instances.
+    pub fn max_release(&self) -> u64 {
+        self.jobs.iter().map(|j| j.release).max().unwrap_or(0)
+    }
+
+    /// Longest execution time (`E_max`); 0 for empty instances.
+    pub fn max_exec(&self) -> u64 {
+        self.jobs.iter().map(|j| j.exec).max().unwrap_or(0)
+    }
+
+    /// All job ids.
+    pub fn ids(&self) -> impl Iterator<Item = JobId> {
+        0..self.jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_graph_is_symmetric() {
+        let mut g = ConflictGraph::new(70);
+        g.add_conflict(0, 69);
+        assert!(g.conflicts(0, 69));
+        assert!(g.conflicts(69, 0));
+        assert!(!g.conflicts(0, 1));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.neighbours(69), vec![0]);
+    }
+
+    #[test]
+    fn independence_check() {
+        let mut g = ConflictGraph::new(4);
+        g.add_conflict(0, 1);
+        assert!(g.is_independent(&[0, 2, 3]));
+        assert!(!g.is_independent(&[0, 1]));
+        assert!(g.is_independent(&[]));
+        assert!(g.conflicts_with_any(1, &[0, 2]));
+        assert!(!g.conflicts_with_any(3, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn union_accumulates_edges() {
+        let mut a = ConflictGraph::new(3);
+        a.add_conflict(0, 1);
+        let mut b = ConflictGraph::new(3);
+        b.add_conflict(1, 2);
+        a.union_with(&b);
+        assert!(a.conflicts(0, 1));
+        assert!(a.conflicts(1, 2));
+        assert_eq!(a.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self")]
+    fn self_loops_are_rejected() {
+        let mut g = ConflictGraph::new(2);
+        g.add_conflict(1, 1);
+    }
+
+    #[test]
+    fn instance_extrema() {
+        let jobs = vec![Job::new(0, 3), Job::new(5, 1), Job::new(2, 7)];
+        let inst = Instance::new(jobs, ConflictGraph::new(3));
+        assert_eq!(inst.max_release(), 5);
+        assert_eq!(inst.max_exec(), 7);
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst.known_opt(), None);
+        let inst = inst.with_known_opt(9);
+        assert_eq!(inst.known_opt(), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_exec_rejected() {
+        let _ = Job::new(0, 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # shrink-theory — the scheduling theory of Section 2
+//!
+//! A self-contained implementation of the paper's theoretical framework:
+//! transactions as jobs with release times, execution times and a conflict
+//! graph, scheduled on unboundedly many processors, judged by makespan.
+//!
+//! * [`job`] — instances and conflict graphs;
+//! * [`opt`] — the offline optimum: exact batch/colouring solver and sound
+//!   lower bounds;
+//! * [`restart`] — the 2-competitive online clairvoyant **Restart**
+//!   scheduler (Theorem 2) and its **Inaccurate** variant (Theorem 3);
+//! * [`greedy`] — Motwani et al.'s 3-competitive Greedy;
+//! * [`carstm`] — the CAR-STM **Serializer** simulator (Theorem 1);
+//! * [`atssim`] — the **ATS** simulator (Theorem 1);
+//! * [`scenarios`] — the lower-bound families of Figure 2 and Theorem 3;
+//! * [`competitive`] — ratio sweeps that regenerate the theorems' numbers.
+//!
+//! ```
+//! use shrink_theory::{scenarios, carstm, restart};
+//!
+//! // Figure 2(a): Serializer needs makespan n where the optimum is 2 ...
+//! let star = scenarios::serializer_star(16);
+//! assert_eq!(carstm::serializer_makespan(&star).makespan, 16);
+//! // ... while the clairvoyant Restart scheduler stays within 2 * OPT.
+//! assert!(restart::restart_makespan(&star).makespan <= 2 * 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod atssim;
+pub mod carstm;
+pub mod competitive;
+pub mod greedy;
+pub mod job;
+pub mod opt;
+pub mod restart;
+pub mod scenarios;
+pub mod sim;
+
+pub use atssim::ats_makespan;
+pub use carstm::serializer_makespan;
+pub use competitive::{head_to_head, RatioPoint};
+pub use greedy::greedy_makespan;
+pub use job::{ConflictGraph, Instance, Job, JobId};
+pub use opt::{batch_optimal, chromatic_number, opt_estimate, opt_lower_bound, BatchSchedule};
+pub use restart::{inaccurate_makespan, restart_makespan, restart_pause_makespan};
+pub use sim::SimResult;

@@ -1,0 +1,330 @@
+//! The offline optimum and its bounds.
+//!
+//! The offline optimal scheduler "has complete information (conflict
+//! relations, execution times, and release times) of all transactions,
+//! including those which will appear in the future". Computing it exactly is
+//! NP-hard in general (unit jobs reduce to graph colouring), so this module
+//! provides:
+//!
+//! * [`batch_optimal`] — exact minimum makespan over *batch* schedules
+//!   (sequences of independent sets, each running for the duration of its
+//!   longest member) via subset dynamic programming. For unit execution
+//!   times and simultaneous release this equals the true optimum (it is
+//!   graph colouring); the paper's lower-bound families are all of this
+//!   shape.
+//! * [`chromatic_number`] — the unit-job special case.
+//! * [`opt_lower_bound`] — the universal bounds `OPT ≥ R_max`,
+//!   `OPT ≥ E_max`, and `OPT ≥` the weight of any conflict clique (pairwise
+//!   conflicting jobs may never overlap).
+
+use crate::job::{ConflictGraph, Instance, JobId};
+
+/// Maximum number of jobs accepted by the exact subset DP.
+///
+/// The DP visits all 3ⁿ (subset, sub-subset) pairs; 18 jobs keep this in
+/// hundreds of millions of cheap word operations.
+pub const MAX_EXACT_JOBS: usize = 18;
+
+/// An optimal batch schedule: waves of pairwise conflict-free jobs and the
+/// resulting makespan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchSchedule {
+    /// Waves in execution order.
+    pub waves: Vec<Vec<JobId>>,
+    /// Total makespan (sum over waves of the longest member).
+    pub makespan: u64,
+}
+
+fn wave_cost(mask: u32, execs: &[u64]) -> u64 {
+    let mut m = mask;
+    let mut cost = 0;
+    while m != 0 {
+        let j = m.trailing_zeros() as usize;
+        cost = cost.max(execs[j]);
+        m &= m - 1;
+    }
+    cost
+}
+
+fn independent_mask(mask: u32, adj: &[u32]) -> bool {
+    let mut m = mask;
+    while m != 0 {
+        let j = m.trailing_zeros() as usize;
+        if adj[j] & mask != 0 {
+            return false;
+        }
+        m &= m - 1;
+    }
+    true
+}
+
+/// Computes the exact minimum-makespan batch schedule of `ids`, ignoring
+/// release times (all jobs assumed available).
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_EXACT_JOBS`] jobs are given.
+pub fn batch_optimal(ids: &[JobId], instance: &Instance) -> BatchSchedule {
+    let n = ids.len();
+    assert!(
+        n <= MAX_EXACT_JOBS,
+        "exact optimum limited to {MAX_EXACT_JOBS} jobs, got {n}"
+    );
+    if n == 0 {
+        return BatchSchedule {
+            waves: Vec::new(),
+            makespan: 0,
+        };
+    }
+    let execs: Vec<u64> = ids.iter().map(|&id| instance.job(id).exec).collect();
+    // Local adjacency in the compressed id space.
+    let graph = instance.conflicts();
+    let adj: Vec<u32> = (0..n)
+        .map(|i| {
+            let mut bits = 0u32;
+            for (j, &jid) in ids.iter().enumerate() {
+                if j != i && graph.conflicts(ids[i], jid) {
+                    bits |= 1 << j;
+                }
+            }
+            bits
+        })
+        .collect();
+
+    let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    let mut best: Vec<u64> = vec![u64::MAX; (full as usize) + 1];
+    let mut choice: Vec<u32> = vec![0; (full as usize) + 1];
+    best[0] = 0;
+    for mask in 1..=full {
+        // Enumerate non-empty sub-subsets of `mask`; anchor the lowest bit
+        // into every candidate wave to avoid symmetric duplicates.
+        let low = mask & mask.wrapping_neg();
+        let rest = mask ^ low;
+        let mut sub = rest;
+        loop {
+            let wave = sub | low;
+            if independent_mask(wave, &adj) {
+                let remainder = mask ^ wave;
+                if best[remainder as usize] != u64::MAX {
+                    let cost = wave_cost(wave, &execs) + best[remainder as usize];
+                    if cost < best[mask as usize] {
+                        best[mask as usize] = cost;
+                        choice[mask as usize] = wave;
+                    }
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+    }
+
+    let mut waves = Vec::new();
+    let mut mask = full;
+    while mask != 0 {
+        let wave = choice[mask as usize];
+        let members: Vec<JobId> = (0..n)
+            .filter(|&j| wave & (1 << j) != 0)
+            .map(|j| ids[j])
+            .collect();
+        waves.push(members);
+        mask ^= wave;
+    }
+    BatchSchedule {
+        waves,
+        makespan: best[full as usize],
+    }
+}
+
+/// A greedy batch schedule: jobs sorted by decreasing execution time are
+/// packed first-fit into independent waves (largest-first colouring).
+///
+/// Not optimal in general, but optimal on the paper's star/hub families and
+/// any other graph where largest-first colouring is exact; used by the
+/// Restart simulator when an instance exceeds [`MAX_EXACT_JOBS`].
+pub fn batch_greedy(ids: &[JobId], instance: &Instance) -> BatchSchedule {
+    let graph = instance.conflicts();
+    let mut order: Vec<JobId> = ids.to_vec();
+    order.sort_by_key(|&id| (std::cmp::Reverse(instance.job(id).exec), id));
+    let mut waves: Vec<Vec<JobId>> = Vec::new();
+    for id in order {
+        match waves
+            .iter_mut()
+            .find(|wave| !graph.conflicts_with_any(id, wave.iter()))
+        {
+            Some(wave) => wave.push(id),
+            None => waves.push(vec![id]),
+        }
+    }
+    let makespan = waves
+        .iter()
+        .map(|wave| {
+            wave.iter()
+                .map(|&id| instance.job(id).exec)
+                .max()
+                .unwrap_or(0)
+        })
+        .sum();
+    BatchSchedule { waves, makespan }
+}
+
+/// The chromatic number of the conflict graph — the optimal makespan for
+/// unit jobs released simultaneously.
+///
+/// # Panics
+///
+/// Panics if the instance exceeds [`MAX_EXACT_JOBS`].
+pub fn chromatic_number(graph: &ConflictGraph) -> u64 {
+    let jobs: Vec<crate::job::Job> = (0..graph.len())
+        .map(|_| crate::job::Job::new(0, 1))
+        .collect();
+    let ids: Vec<JobId> = (0..graph.len()).collect();
+    let instance = Instance::new(jobs, graph.clone());
+    batch_optimal(&ids, &instance).makespan
+}
+
+/// A certified lower bound on the offline optimal makespan:
+/// `max(R_max, E_max, heaviest greedy conflict clique)`.
+///
+/// Always sound; not necessarily tight.
+pub fn opt_lower_bound(instance: &Instance) -> u64 {
+    let mut bound = instance.max_release().max(instance.max_exec());
+    // Greedy weighted clique: seed with each job, grow by heaviest
+    // compatible neighbour. Sound because members are pairwise conflicting,
+    // hence may never overlap in any legal schedule.
+    let graph = instance.conflicts();
+    for seed in instance.ids() {
+        let mut clique = vec![seed];
+        let mut weight = instance.job(seed).exec;
+        let mut candidates: Vec<JobId> = graph.neighbours(seed);
+        candidates.sort_by_key(|&c| std::cmp::Reverse(instance.job(c).exec));
+        for c in candidates {
+            if clique.iter().all(|&m| graph.conflicts(c, m)) {
+                clique.push(c);
+                weight += instance.job(c).exec;
+            }
+        }
+        bound = bound.max(weight);
+    }
+    bound
+}
+
+/// The best available estimate of OPT: the generator-provided closed form if
+/// present, otherwise the exact batch optimum for small simultaneous-release
+/// instances, otherwise the certified lower bound.
+pub fn opt_estimate(instance: &Instance) -> u64 {
+    if let Some(known) = instance.known_opt() {
+        return known;
+    }
+    if instance.len() <= MAX_EXACT_JOBS && instance.max_release() == 0 {
+        let ids: Vec<JobId> = instance.ids().collect();
+        return batch_optimal(&ids, instance).makespan;
+    }
+    opt_lower_bound(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+
+    fn unit_instance(n: usize, edges: &[(usize, usize)]) -> Instance {
+        let mut g = ConflictGraph::new(n);
+        for &(a, b) in edges {
+            g.add_conflict(a, b);
+        }
+        Instance::new(vec![Job::new(0, 1); n], g)
+    }
+
+    #[test]
+    fn independent_jobs_take_one_round() {
+        let inst = unit_instance(6, &[]);
+        let ids: Vec<JobId> = inst.ids().collect();
+        let s = batch_optimal(&ids, &inst);
+        assert_eq!(s.makespan, 1);
+        assert_eq!(s.waves.len(), 1);
+        assert_eq!(s.waves[0].len(), 6);
+    }
+
+    #[test]
+    fn clique_serializes_fully() {
+        let inst = unit_instance(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let ids: Vec<JobId> = inst.ids().collect();
+        assert_eq!(batch_optimal(&ids, &inst).makespan, 4);
+    }
+
+    #[test]
+    fn odd_cycle_needs_three_colours() {
+        let inst = unit_instance(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(chromatic_number(inst.conflicts()), 3);
+    }
+
+    #[test]
+    fn bipartite_needs_two() {
+        let inst = unit_instance(6, &[(0, 3), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5)]);
+        assert_eq!(chromatic_number(inst.conflicts()), 2);
+    }
+
+    #[test]
+    fn weighted_waves_group_by_cost() {
+        // Star: hub (exec 5) conflicts with three leaves (exec 1).
+        let mut g = ConflictGraph::new(4);
+        for leaf in 1..4 {
+            g.add_conflict(0, leaf);
+        }
+        let inst = Instance::new(
+            vec![
+                Job::new(0, 5),
+                Job::new(0, 1),
+                Job::new(0, 1),
+                Job::new(0, 1),
+            ],
+            g,
+        );
+        let ids: Vec<JobId> = inst.ids().collect();
+        let s = batch_optimal(&ids, &inst);
+        assert_eq!(s.makespan, 6, "hub (5) + leaves wave (1)");
+        assert_eq!(s.waves.len(), 2);
+    }
+
+    #[test]
+    fn waves_partition_the_jobs() {
+        let inst = unit_instance(7, &[(0, 1), (2, 3), (4, 5), (5, 6), (1, 2)]);
+        let ids: Vec<JobId> = inst.ids().collect();
+        let s = batch_optimal(&ids, &inst);
+        let mut all: Vec<JobId> = s.waves.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, ids, "waves must partition the job set");
+        for wave in &s.waves {
+            assert!(inst.conflicts().is_independent(wave));
+        }
+    }
+
+    #[test]
+    fn lower_bound_sees_cliques_and_extrema() {
+        let mut g = ConflictGraph::new(3);
+        g.add_conflict(0, 1);
+        g.add_conflict(1, 2);
+        g.add_conflict(0, 2);
+        let inst = Instance::new(vec![Job::new(0, 2), Job::new(7, 3), Job::new(0, 4)], g);
+        // Clique weight 9 > R_max 7 > E_max 4.
+        assert_eq!(opt_lower_bound(&inst), 9);
+    }
+
+    #[test]
+    fn estimate_prefers_known_then_exact() {
+        let inst = unit_instance(3, &[(0, 1)]).with_known_opt(42);
+        assert_eq!(opt_estimate(&inst), 42);
+        let inst = unit_instance(3, &[(0, 1)]);
+        assert_eq!(opt_estimate(&inst), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn oversized_exact_rejected() {
+        let inst = unit_instance(MAX_EXACT_JOBS + 1, &[]);
+        let ids: Vec<JobId> = inst.ids().collect();
+        let _ = batch_optimal(&ids, &inst);
+    }
+}

@@ -1,0 +1,381 @@
+//! The **Restart** online clairvoyant scheduler (Theorem 2) and its
+//! **Inaccurate** variant (Theorem 3).
+//!
+//! Restart has complete information about *released* transactions. Whenever
+//! a new transaction is released it aborts everything currently executing
+//! and re-schedules all released unfinished transactions according to an
+//! optimal schedule. Its makespan is therefore at most `R_max + OPT`, which
+//! proves 2-competitiveness — the optimal competitive ratio for online
+//! clairvoyant schedulers, closing the open problem of Motwani et al.
+//!
+//! Inaccurate runs the same algorithm against a *predicted* conflict
+//! relation. Over-predicted edges serialize work needlessly; missed edges
+//! surface as real conflicts at run time and are repaired by greedy
+//! sub-scheduling (the "pending commit" property: of the transactions
+//! running at any time, at least one commits). Either kind of error costs
+//! Θ(n) in the worst case.
+
+use crate::job::{ConflictGraph, Instance, JobId};
+use crate::opt::{batch_greedy, batch_optimal, BatchSchedule, MAX_EXACT_JOBS};
+use crate::sim::{release_events, SimResult};
+
+/// Plans a batch schedule: exact for small job sets, largest-first greedy
+/// beyond the exact solver's limit (optimal on the paper's families).
+fn plan(ids: &[JobId], instance: &Instance) -> BatchSchedule {
+    if ids.len() <= MAX_EXACT_JOBS {
+        batch_optimal(ids, instance)
+    } else {
+        batch_greedy(ids, instance)
+    }
+}
+
+/// Simulates Restart with an optimal re-plan at every release (exact for up
+/// to [`MAX_EXACT_JOBS`] simultaneously unfinished jobs, largest-first
+/// greedy beyond).
+pub fn restart_makespan(instance: &Instance) -> SimResult {
+    simulate_replanning(instance, instance.conflicts(), true)
+}
+
+/// Simulates Restart in Motwani et al.'s original model, where a new
+/// release *preempts* (pauses) running jobs instead of aborting them, and
+/// they later resume from the preemption point.
+///
+/// The paper notes after Theorem 2 that 2-competitiveness "holds even for
+/// the original problem described by Motwani et al. where transactions
+/// cannot abort, but are allowed to preempt and continue". Pausing can only
+/// shorten the makespan relative to aborting, which the property tests
+/// assert.
+pub fn restart_pause_makespan(instance: &Instance) -> SimResult {
+    let n = instance.len();
+    if n == 0 {
+        return SimResult {
+            makespan: 0,
+            aborts: 0,
+        };
+    }
+    let mut remaining: Vec<u64> = instance.jobs().iter().map(|j| j.exec).collect();
+    let mut finished = vec![false; n];
+    let mut released = vec![false; n];
+    let mut t: u64 = 0;
+    let events = release_events(instance);
+
+    // Planning instance whose execution times shrink as jobs progress:
+    // rebuild per release with the *remaining* work.
+    'events: for (i, &r) in events.iter().enumerate() {
+        for id in instance.ids() {
+            if instance.job(id).release <= r {
+                released[id] = true;
+            }
+        }
+        if t < r {
+            t = r;
+        }
+        let next_release = events.get(i + 1).copied();
+        let unfinished: Vec<JobId> = instance
+            .ids()
+            .filter(|&id| released[id] && !finished[id])
+            .collect();
+        if unfinished.is_empty() {
+            continue;
+        }
+        let jobs: Vec<crate::job::Job> = instance
+            .ids()
+            .map(|id| crate::job::Job::new(0, remaining[id].max(1)))
+            .collect();
+        let planning = Instance::new(jobs, instance.conflicts().clone());
+        let schedule = plan(&unfinished, &planning);
+        for wave in &schedule.waves {
+            let duration = wave
+                .iter()
+                .map(|&id| remaining[id])
+                .max()
+                .expect("waves are non-empty");
+            let end = t + duration;
+            if let Some(nr) = next_release {
+                if end > nr {
+                    // Preemption: the running wave keeps its progress.
+                    let ran = nr - t;
+                    for &id in wave {
+                        remaining[id] = remaining[id].saturating_sub(ran);
+                        if remaining[id] == 0 {
+                            finished[id] = true;
+                        }
+                    }
+                    t = nr;
+                    continue 'events;
+                }
+            }
+            for &id in wave {
+                remaining[id] = 0;
+                finished[id] = true;
+            }
+            t = end;
+        }
+    }
+    debug_assert!(finished.iter().all(|&f| f), "all jobs must finish");
+    SimResult {
+        makespan: t,
+        aborts: 0,
+    }
+}
+
+/// Simulates Inaccurate: Restart planning against `predicted` instead of
+/// the true conflict relation.
+///
+/// Extra predicted edges only over-serialize. Missing edges make planned
+/// waves internally conflicting; those waves execute as greedy
+/// true-independent sub-waves, every demotion counting as an abort.
+pub fn inaccurate_makespan(instance: &Instance, predicted: &ConflictGraph) -> SimResult {
+    assert_eq!(
+        predicted.len(),
+        instance.len(),
+        "predicted graph must cover all jobs"
+    );
+    simulate_replanning(instance, predicted, false)
+}
+
+fn simulate_replanning(
+    instance: &Instance,
+    planning_graph: &ConflictGraph,
+    plan_is_exact: bool,
+) -> SimResult {
+    let n = instance.len();
+    if n == 0 {
+        return SimResult {
+            makespan: 0,
+            aborts: 0,
+        };
+    }
+    let mut finished = vec![false; n];
+    let mut released = vec![false; n];
+    let mut t: u64 = 0;
+    let mut aborts: u64 = 0;
+    let events = release_events(instance);
+
+    // A planning instance whose conflicts are the *predicted* relation.
+    let planning_instance = Instance::new(instance.jobs().to_vec(), planning_graph.clone());
+
+    'events: for (i, &r) in events.iter().enumerate() {
+        for id in instance.ids() {
+            if instance.job(id).release <= r {
+                released[id] = true;
+            }
+        }
+        if t < r {
+            t = r;
+        }
+        let next_release = events.get(i + 1).copied();
+
+        let unfinished: Vec<JobId> = instance
+            .ids()
+            .filter(|&id| released[id] && !finished[id])
+            .collect();
+        if unfinished.is_empty() {
+            continue;
+        }
+        let schedule = plan(&unfinished, &planning_instance);
+
+        for wave in &schedule.waves {
+            // Waves that are independent only in the predicted graph may
+            // still conflict in reality; run them as greedy sub-waves.
+            let sub_waves = if plan_is_exact {
+                vec![wave.clone()]
+            } else {
+                split_by_true_conflicts(wave, instance, &mut aborts)
+            };
+            for sub in sub_waves {
+                let duration = sub
+                    .iter()
+                    .map(|&id| instance.job(id).exec)
+                    .max()
+                    .expect("waves are non-empty");
+                let end = t + duration;
+                if let Some(nr) = next_release {
+                    if end > nr {
+                        // A release interrupts the wave: abort everything
+                        // running and re-plan at the release.
+                        aborts += sub.len() as u64;
+                        t = nr;
+                        continue 'events;
+                    }
+                }
+                for &id in &sub {
+                    finished[id] = true;
+                }
+                t = end;
+            }
+        }
+        // Plan drained before the next release: idle until it (handled by
+        // the `t < r` clamp of the next iteration).
+    }
+
+    debug_assert!(finished.iter().all(|&f| f), "all jobs must finish");
+    SimResult {
+        makespan: t,
+        aborts,
+    }
+}
+
+/// Splits a predicted-independent wave into truly independent sub-waves,
+/// greedily by id; every job pushed out of the first sub-wave counts as one
+/// abort (it ran speculatively and lost).
+fn split_by_true_conflicts(
+    wave: &[JobId],
+    instance: &Instance,
+    aborts: &mut u64,
+) -> Vec<Vec<JobId>> {
+    let graph = instance.conflicts();
+    let mut remaining: Vec<JobId> = wave.to_vec();
+    remaining.sort_unstable();
+    let mut rounds = Vec::new();
+    while !remaining.is_empty() {
+        let mut round: Vec<JobId> = Vec::new();
+        let mut deferred: Vec<JobId> = Vec::new();
+        for &id in &remaining {
+            if graph.conflicts_with_any(id, round.iter()) {
+                deferred.push(id);
+            } else {
+                round.push(id);
+            }
+        }
+        *aborts += deferred.len() as u64;
+        rounds.push(round);
+        remaining = deferred;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::opt::opt_estimate;
+
+    #[test]
+    fn independent_jobs_run_in_one_wave() {
+        let inst = Instance::new(vec![Job::new(0, 1); 8], ConflictGraph::new(8));
+        let r = restart_makespan(&inst);
+        assert_eq!(r.makespan, 1);
+        assert_eq!(r.aborts, 0);
+    }
+
+    #[test]
+    fn staggered_releases_cost_at_most_rmax_plus_opt() {
+        // Three batches of pairwise-conflicting pairs released over time.
+        let mut g = ConflictGraph::new(6);
+        g.add_conflict(0, 1);
+        g.add_conflict(2, 3);
+        g.add_conflict(4, 5);
+        let jobs = vec![
+            Job::new(0, 2),
+            Job::new(0, 2),
+            Job::new(3, 2),
+            Job::new(3, 2),
+            Job::new(5, 2),
+            Job::new(5, 2),
+        ];
+        let inst = Instance::new(jobs, g);
+        let r = restart_makespan(&inst);
+        let all: Vec<JobId> = inst.ids().collect();
+        let opt_ignoring_releases = batch_optimal(&all, &inst).makespan;
+        assert!(
+            r.makespan <= inst.max_release() + opt_ignoring_releases,
+            "Theorem 2 envelope violated: {} > {} + {}",
+            r.makespan,
+            inst.max_release(),
+            opt_ignoring_releases
+        );
+    }
+
+    #[test]
+    fn release_interrupts_and_aborts_running_wave() {
+        // One long job; a second conflicting job lands mid-flight.
+        let mut g = ConflictGraph::new(2);
+        g.add_conflict(0, 1);
+        let inst = Instance::new(vec![Job::new(0, 10), Job::new(5, 1)], g);
+        let r = restart_makespan(&inst);
+        // Restart aborts job 0 at t=5 and re-plans: optimal order of
+        // {0 (10), 1 (1)} serializes them: 5 + 11 = 16.
+        assert_eq!(r.makespan, 16);
+        assert!(r.aborts >= 1, "the running wave must have been aborted");
+    }
+
+    #[test]
+    fn inaccurate_with_exact_prediction_matches_restart() {
+        let mut g = ConflictGraph::new(4);
+        g.add_conflict(0, 1);
+        g.add_conflict(2, 3);
+        let inst = Instance::new(vec![Job::new(0, 3); 4], g.clone());
+        let exact = restart_makespan(&inst);
+        let inacc = inaccurate_makespan(&inst, &g);
+        assert_eq!(exact.makespan, inacc.makespan);
+    }
+
+    #[test]
+    fn over_prediction_serializes_independent_jobs() {
+        // Theorem 3 lower bound: truly independent unit jobs, predicted to
+        // all share resource R1 (complete predicted graph).
+        let n = 8;
+        let inst = Instance::new(vec![Job::new(0, 1); n], ConflictGraph::new(n));
+        let mut predicted = ConflictGraph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                predicted.add_conflict(a, b);
+            }
+        }
+        let r = inaccurate_makespan(&inst, &predicted);
+        assert_eq!(r.makespan, n as u64, "full serialization");
+        assert_eq!(opt_estimate(&inst), 1);
+    }
+
+    #[test]
+    fn under_prediction_repairs_via_true_conflict_subwaves() {
+        // Predicted edgeless, truly a triangle: one planned wave of 3 must
+        // split into 3 sub-waves, with 2 + 1 demotions counted as aborts.
+        let mut g = ConflictGraph::new(3);
+        g.add_conflict(0, 1);
+        g.add_conflict(1, 2);
+        g.add_conflict(0, 2);
+        let inst = Instance::new(vec![Job::new(0, 1); 3], g);
+        let predicted = ConflictGraph::new(3);
+        let r = inaccurate_makespan(&inst, &predicted);
+        assert_eq!(r.makespan, 3);
+        assert_eq!(r.aborts, 3, "2 demoted in round 1, 1 in round 2");
+    }
+
+    #[test]
+    fn empty_instance_is_trivial() {
+        let inst = Instance::new(Vec::new(), ConflictGraph::new(0));
+        assert_eq!(restart_makespan(&inst).makespan, 0);
+        assert_eq!(restart_pause_makespan(&inst).makespan, 0);
+    }
+
+    #[test]
+    fn pause_variant_never_loses_to_the_abort_variant() {
+        // Pausing preserves progress, so it can only help.
+        for seed in 0..20u64 {
+            let inst = crate::scenarios::random_instance(8, 5, 96, seed);
+            let abort = restart_makespan(&inst).makespan;
+            let pause = restart_pause_makespan(&inst).makespan;
+            assert!(pause <= abort, "seed {seed}: pause {pause} > abort {abort}");
+        }
+    }
+
+    #[test]
+    fn pause_variant_resumes_interrupted_work() {
+        // One long job interrupted by a conflicting release: with aborts the
+        // long job restarts from scratch (makespan 16, see
+        // release_interrupts_and_aborts_running_wave); with pauses it only
+        // finishes its remaining 5 units after the newcomer is sequenced.
+        let mut g = ConflictGraph::new(2);
+        g.add_conflict(0, 1);
+        let inst = Instance::new(vec![Job::new(0, 10), Job::new(5, 1)], g);
+        let r = restart_pause_makespan(&inst);
+        assert!(
+            r.makespan < 16,
+            "pausing must beat the aborting makespan, got {}",
+            r.makespan
+        );
+        assert_eq!(r.aborts, 0);
+    }
+}

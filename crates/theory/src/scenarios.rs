@@ -1,0 +1,168 @@
+//! Instance families from the paper, with their closed-form optima.
+
+use crate::job::{ConflictGraph, Instance, Job};
+
+/// Figure 2(a): the Serializer lower-bound family.
+///
+/// * `T₁`, `T₂` released at time 0, `T₃ … Tₙ` at time 1, all unit length;
+/// * `T₂` conflicts with every other transaction; no other pair conflicts.
+///
+/// The offline optimum runs `T₂` first and everything else in parallel
+/// afterwards: OPT = 2. Serializer piles every transaction behind `T₂`:
+/// makespan `n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn serializer_star(n: usize) -> Instance {
+    assert!(n >= 3, "the star family needs at least 3 transactions");
+    let mut jobs = vec![Job::new(0, 1), Job::new(0, 1)];
+    jobs.extend((2..n).map(|_| Job::new(1, 1)));
+    let mut g = ConflictGraph::new(n);
+    for other in (0..n).filter(|&o| o != 1) {
+        g.add_conflict(1, other);
+    }
+    Instance::new(jobs, g).with_known_opt(2)
+}
+
+/// Figure 2(b): the ATS lower-bound family.
+///
+/// * all transactions released at 0;
+/// * `T₁` has execution time `k`, the rest are unit;
+/// * every transaction conflicts with `T₁` only.
+///
+/// The offline optimum runs the `n − 1` unit transactions in one parallel
+/// wave and then `T₁`: OPT = k + 1. ATS (with threshold `k`) pushes all of
+/// them into the serial queue: makespan `k + n − 1`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn ats_hub(n: usize, k: u64) -> Instance {
+    assert!(n >= 2, "the hub family needs at least 2 transactions");
+    assert!(k > 0, "the hub execution time must be positive");
+    let mut jobs = vec![Job::new(0, k)];
+    jobs.extend((1..n).map(|_| Job::new(0, 1)));
+    let mut g = ConflictGraph::new(n);
+    for other in 1..n {
+        g.add_conflict(0, other);
+    }
+    Instance::new(jobs, g).with_known_opt(k + 1)
+}
+
+/// Theorem 3's lower-bound family: `n` truly independent unit transactions.
+///
+/// OPT = 1. Paired with [`inaccurate_belief`], which predicts that every
+/// transaction also touches resource `R₁` (a complete conflict graph),
+/// Inaccurate serializes everything: makespan `n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn independent_unit(n: usize) -> Instance {
+    assert!(n > 0, "need at least one transaction");
+    Instance::new(vec![Job::new(0, 1); n], ConflictGraph::new(n)).with_known_opt(1)
+}
+
+/// The mistaken conflict relation of Theorem 3: every transaction is
+/// believed to also access `R₁`, so all pairs are predicted to conflict.
+pub fn inaccurate_belief(n: usize) -> ConflictGraph {
+    let mut g = ConflictGraph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            g.add_conflict(a, b);
+        }
+    }
+    g
+}
+
+/// A seeded random instance: `n` jobs, simultaneous release, execution
+/// times in `1..=max_exec`, each pair conflicting with probability
+/// `density` (in 1/256ths).
+///
+/// Deterministic in `seed`; used by property tests and the theorem sweeps.
+pub fn random_instance(n: usize, max_exec: u64, density_256: u32, seed: u64) -> Instance {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let jobs: Vec<Job> = (0..n)
+        .map(|_| Job::new(0, (next() % max_exec.max(1)) + 1))
+        .collect();
+    let mut g = ConflictGraph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if (next() % 256) < density_256 as u64 {
+                g.add_conflict(a, b);
+            }
+        }
+    }
+    Instance::new(jobs, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::{batch_optimal, opt_lower_bound};
+
+    #[test]
+    fn star_structure_matches_figure_2a() {
+        let inst = serializer_star(6);
+        assert_eq!(inst.len(), 6);
+        assert_eq!(inst.job(0).release, 0);
+        assert_eq!(inst.job(1).release, 0);
+        assert_eq!(inst.job(2).release, 1);
+        let g = inst.conflicts();
+        assert!(g.conflicts(1, 0));
+        assert!(g.conflicts(1, 5));
+        assert!(!g.conflicts(2, 3));
+        assert_eq!(inst.known_opt(), Some(2));
+    }
+
+    #[test]
+    fn star_known_opt_is_achievable() {
+        // Sanity: schedule T2 at [0,1], everything else at [1,2].
+        let inst = serializer_star(8);
+        assert!(opt_lower_bound(&inst) <= 2);
+    }
+
+    #[test]
+    fn hub_structure_matches_figure_2b() {
+        let inst = ats_hub(5, 3);
+        assert_eq!(inst.job(0).exec, 3);
+        assert!(inst.jobs()[1..].iter().all(|j| j.exec == 1));
+        let g = inst.conflicts();
+        assert!(g.conflicts(0, 4));
+        assert!(!g.conflicts(1, 2));
+        assert_eq!(inst.known_opt(), Some(4));
+    }
+
+    #[test]
+    fn hub_known_opt_matches_exact_solver() {
+        let inst = ats_hub(6, 4);
+        let ids: Vec<usize> = inst.ids().collect();
+        assert_eq!(batch_optimal(&ids, &inst).makespan, 5);
+    }
+
+    #[test]
+    fn independent_family_and_belief() {
+        let inst = independent_unit(7);
+        assert_eq!(inst.conflicts().edge_count(), 0);
+        let belief = inaccurate_belief(7);
+        assert_eq!(belief.edge_count(), 21);
+    }
+
+    #[test]
+    fn random_instances_are_deterministic_in_seed() {
+        let a = random_instance(10, 5, 64, 42);
+        let b = random_instance(10, 5, 64, 42);
+        assert_eq!(a.jobs(), b.jobs());
+        assert_eq!(a.conflicts().edge_count(), b.conflicts().edge_count());
+        let c = random_instance(10, 5, 64, 43);
+        // Overwhelmingly likely to differ.
+        assert!(a.jobs() != c.jobs() || a.conflicts() != c.conflicts());
+    }
+}

@@ -1,0 +1,56 @@
+//! Common result type and helpers shared by the scheduler simulators.
+
+use crate::job::Instance;
+
+/// Outcome of simulating a scheduler on an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimResult {
+    /// Completion time of the last transaction.
+    pub makespan: u64,
+    /// Number of aborted (wasted) executions the scheduler incurred.
+    pub aborts: u64,
+}
+
+impl SimResult {
+    /// The competitive ratio against a reference optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opt` is zero.
+    pub fn ratio(&self, opt: u64) -> f64 {
+        assert!(opt > 0, "OPT must be positive");
+        self.makespan as f64 / opt as f64
+    }
+}
+
+/// Sorted deduplicated release times of an instance.
+pub(crate) fn release_events(instance: &Instance) -> Vec<u64> {
+    let mut events: Vec<u64> = instance.jobs().iter().map(|j| j.release).collect();
+    events.sort_unstable();
+    events.dedup();
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{ConflictGraph, Job};
+
+    #[test]
+    fn ratio_divides() {
+        let r = SimResult {
+            makespan: 10,
+            aborts: 0,
+        };
+        assert!((r.ratio(4) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_events_are_sorted_unique() {
+        let inst = Instance::new(
+            vec![Job::new(5, 1), Job::new(0, 1), Job::new(5, 1)],
+            ConflictGraph::new(3),
+        );
+        assert_eq!(release_events(&inst), vec![0, 5]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Time-boxed throughput measurement.
+//!
+//! All figures in the paper report *committed transactions per second* for a
+//! fixed wall-clock window at each thread count. The harness reproduces that
+//! methodology: spawn `threads` workers that repeatedly execute a workload
+//! step, let them run for a warmup window, snapshot the runtime counters,
+//! run the measurement window, snapshot again, and report the delta.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shrink_stm::TmRuntime;
+
+/// A benchmark workload: shared state plus a per-step operation mix.
+///
+/// Implementations own their data (usually `TVar` graphs) and perform one
+/// or more transactions per [`step`](TxWorkload::step) call.
+pub trait TxWorkload: Send + Sync + 'static {
+    /// Executes one unit of work on behalf of worker `worker`.
+    fn step(&self, rt: &TmRuntime, worker: usize, rng: &mut StdRng);
+
+    /// Audits workload invariants after a run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
+        let _ = rt;
+        Ok(())
+    }
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Parameters of one measured cell.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Warmup window excluded from the measurement.
+    pub warmup: Duration,
+    /// Base RNG seed; worker `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A config with the given thread count and window, 20 % warmup.
+    pub fn new(threads: usize, duration: Duration) -> Self {
+        RunConfig {
+            threads,
+            duration,
+            warmup: duration / 5,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Result of one measured cell.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome {
+    /// Committed transactions during the measurement window.
+    pub commits: u64,
+    /// Aborted attempts during the measurement window.
+    pub aborts: u64,
+    /// Actual measured wall time.
+    pub elapsed: Duration,
+    /// Workload steps completed during the measurement window.
+    pub steps: u64,
+}
+
+impl RunOutcome {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.commits as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Aborts per commit.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} tx/s ({} commits, {} aborts in {:?})",
+            self.throughput(),
+            self.commits,
+            self.aborts,
+            self.elapsed
+        )
+    }
+}
+
+/// Runs `workload` on `rt` with the given configuration and returns the
+/// measured throughput.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics or if `threads` is zero.
+pub fn run_throughput(
+    rt: &TmRuntime,
+    workload: &Arc<dyn TxWorkload>,
+    config: &RunConfig,
+) -> RunOutcome {
+    assert!(config.threads > 0, "at least one worker thread required");
+    let stop = Arc::new(AtomicBool::new(false));
+    let measuring = Arc::new(AtomicBool::new(false));
+    let steps = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..config.threads)
+        .map(|worker| {
+            let rt = rt.clone();
+            let workload = Arc::clone(workload);
+            let stop = Arc::clone(&stop);
+            let measuring = Arc::clone(&measuring);
+            let steps = Arc::clone(&steps);
+            let seed = config.seed + worker as u64;
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                while !stop.load(Ordering::Relaxed) {
+                    workload.step(&rt, worker, &mut rng);
+                    if measuring.load(Ordering::Relaxed) {
+                        steps.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(config.warmup);
+    let before = rt.stats();
+    measuring.store(true, Ordering::Relaxed);
+    let started = Instant::now();
+    std::thread::sleep(config.duration);
+    let elapsed = started.elapsed();
+    let after = rt.stats();
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("worker thread panicked");
+    }
+
+    let delta = after.since(&before);
+    RunOutcome {
+        commits: delta.commits,
+        aborts: delta.aborts,
+        elapsed,
+        steps: steps.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs the workload for a fixed number of steps per worker instead of a
+/// time window — used by correctness tests that need deterministic volume.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_fixed_steps(
+    rt: &TmRuntime,
+    workload: &Arc<dyn TxWorkload>,
+    threads: usize,
+    steps_per_worker: u64,
+    seed: u64,
+) {
+    let workers: Vec<_> = (0..threads)
+        .map(|worker| {
+            let rt = rt.clone();
+            let workload = Arc::clone(workload);
+            let seed = seed + worker as u64;
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..steps_per_worker {
+                    workload.step(&rt, worker, &mut rng);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker thread panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrink_stm::{TVar, TxResult};
+
+    #[derive(Debug)]
+    struct CounterWorkload {
+        counter: TVar<u64>,
+    }
+
+    impl TxWorkload for CounterWorkload {
+        fn step(&self, rt: &TmRuntime, _worker: usize, _rng: &mut StdRng) {
+            rt.run(|tx| -> TxResult<()> { tx.modify(&self.counter, |v| v + 1) });
+        }
+
+        fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
+            let commits = rt.stats().commits;
+            let value = self.counter.snapshot();
+            if value == commits {
+                Ok(())
+            } else {
+                Err(format!("counter {value} != commits {commits}"))
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+    }
+
+    #[test]
+    fn throughput_run_counts_commits() {
+        let rt = TmRuntime::new();
+        let workload: Arc<dyn TxWorkload> = Arc::new(CounterWorkload {
+            counter: TVar::new(0),
+        });
+        let config = RunConfig {
+            threads: 2,
+            duration: Duration::from_millis(50),
+            warmup: Duration::from_millis(10),
+            seed: 1,
+        };
+        let outcome = run_throughput(&rt, &workload, &config);
+        assert!(outcome.commits > 0, "two workers must commit something");
+        assert!(outcome.throughput() > 0.0);
+        workload.verify(&rt).unwrap();
+    }
+
+    #[test]
+    fn fixed_steps_run_is_deterministic_in_volume() {
+        let rt = TmRuntime::new();
+        let counter = TVar::new(0u64);
+        let workload: Arc<dyn TxWorkload> = Arc::new(CounterWorkload {
+            counter: counter.clone(),
+        });
+        run_fixed_steps(&rt, &workload, 3, 100, 7);
+        assert_eq!(counter.snapshot(), 300);
+    }
+}

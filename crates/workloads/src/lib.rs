@@ -1,0 +1,26 @@
+//! # shrink-workloads — the paper's benchmarks, ported
+//!
+//! Rust ports of the workloads the paper evaluates Shrink on, all running
+//! against the [`shrink-stm`](shrink_stm) runtime:
+//!
+//! * [`rbtree`] — the red-black-tree microbenchmark (integer range 16384,
+//!   20 % / 70 % updates);
+//! * [`stmbench7`] — a structurally faithful, scaled STMBench7: the CAD
+//!   object graph with traversal / operation / structural-modification
+//!   mixes in read-dominated, read-write and write-dominated flavours;
+//! * [`stamp`] — analogues of all ten STAMP configurations (bayes, genome,
+//!   intruder, kmeans ×2, labyrinth, ssca2, vacation ×2, yada) preserving
+//!   each application's transactional access pattern;
+//! * [`harness`] — the time-boxed committed-tx/s measurement used by every
+//!   figure.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+pub mod rbtree;
+pub mod stamp;
+pub mod stmbench7;
+
+pub use harness::{run_fixed_steps, run_throughput, RunConfig, RunOutcome, TxWorkload};
+pub use rbtree::{RbTreeWorkload, TxRbTree};

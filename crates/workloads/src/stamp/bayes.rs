@@ -1,0 +1,278 @@
+//! `bayes` — Bayesian network structure learning by hill climbing.
+//!
+//! STAMP's bayes learns a dependency graph over variables from sample
+//! data: workers score candidate edge insertions against the data (a long
+//! non-transactional computation) and then atomically apply the best one —
+//! reading the affected variable's parent set, checking the acyclicity and
+//! degree constraints, and updating the network plus the global score.
+//! Transactions are few but heavyweight, with a hot global score variable.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shrink_stm::{TVar, TmRuntime, TxResult};
+
+use crate::harness::TxWorkload;
+
+/// Configuration of the bayes workload.
+#[derive(Clone, Copy, Debug)]
+pub struct BayesConfig {
+    /// Number of network variables.
+    pub variables: usize,
+    /// Number of synthetic data rows scored per candidate.
+    pub rows: usize,
+    /// Maximum parents per variable.
+    pub max_parents: usize,
+}
+
+impl Default for BayesConfig {
+    fn default() -> Self {
+        BayesConfig {
+            variables: 16,
+            rows: 256,
+            max_parents: 4,
+        }
+    }
+}
+
+/// The bayes workload.
+pub struct Bayes {
+    config: BayesConfig,
+    /// Synthetic observations: one bitset per row.
+    data: Vec<u64>,
+    /// Parent sets, one bitmask TVar per variable.
+    parents: Vec<TVar<u64>>,
+    /// The hot global log-score accumulator (scaled to integer millis).
+    score: TVar<i64>,
+}
+
+impl fmt::Debug for Bayes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bayes")
+            .field("variables", &self.config.variables)
+            .field("rows", &self.data.len())
+            .finish()
+    }
+}
+
+impl Bayes {
+    /// Creates the workload with seeded synthetic observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 variables are requested (rows are bitsets).
+    pub fn new(config: BayesConfig) -> Self {
+        assert!(config.variables <= 64, "rows are 64-bit bitsets");
+        let mut rng = StdRng::seed_from_u64(0xBA7E5);
+        // Plant correlations: variable v tends to equal variable v-1.
+        let data: Vec<u64> = (0..config.rows)
+            .map(|_| {
+                let mut row = 0u64;
+                for v in 0..config.variables {
+                    let bit = if v == 0 {
+                        rng.random_bool(0.5)
+                    } else {
+                        let prev = row & (1 << (v - 1)) != 0;
+                        if rng.random_bool(0.8) {
+                            prev
+                        } else {
+                            !prev
+                        }
+                    };
+                    if bit {
+                        row |= 1 << v;
+                    }
+                }
+                row
+            })
+            .collect();
+        Bayes {
+            parents: (0..config.variables).map(|_| TVar::new(0)).collect(),
+            config,
+            data,
+            score: TVar::new(0),
+        }
+    }
+
+    /// Mutual-information-flavoured score of `parent → child` on the data,
+    /// in integer millis. Pure computation over immutable data.
+    fn score_edge(&self, parent: usize, child: usize) -> i64 {
+        let mut agree = 0i64;
+        for &row in &self.data {
+            let p = row & (1 << parent) != 0;
+            let c = row & (1 << child) != 0;
+            if p == c {
+                agree += 1;
+            }
+        }
+        let n = self.data.len() as i64;
+        // |2 * agreement - n| is 0 for independence, n for determinism.
+        ((2 * agree - n).abs() * 1000) / n
+    }
+
+    /// Whether adding `parent → child` would create a cycle, given a
+    /// snapshot of all parent sets.
+    fn creates_cycle(parents: &[u64], parent: usize, child: usize) -> bool {
+        // DFS from `parent` upwards through its ancestors: a cycle appears
+        // iff `child` is already an ancestor of `parent`.
+        let mut stack = vec![parent];
+        let mut seen = 0u64;
+        while let Some(v) = stack.pop() {
+            if v == child {
+                return true;
+            }
+            if seen & (1 << v) != 0 {
+                continue;
+            }
+            seen |= 1 << v;
+            let mut ps = parents[v];
+            while ps != 0 {
+                let p = ps.trailing_zeros() as usize;
+                ps &= ps - 1;
+                stack.push(p);
+            }
+        }
+        false
+    }
+
+    /// The learned network's global score.
+    pub fn current_score(&self, rt: &TmRuntime) -> i64 {
+        rt.run(|tx| tx.read(&self.score))
+    }
+
+    /// Total edges in the learned network.
+    pub fn edge_count(&self, rt: &TmRuntime) -> u32 {
+        rt.run(|tx| {
+            let mut edges = 0;
+            for p in &self.parents {
+                edges += tx.read(p)?.count_ones();
+            }
+            Ok(edges)
+        })
+    }
+}
+
+impl TxWorkload for Bayes {
+    fn step(&self, rt: &TmRuntime, _worker: usize, rng: &mut StdRng) {
+        let child = rng.random_range(0..self.config.variables);
+        let parent = rng.random_range(0..self.config.variables);
+        if parent == child {
+            return;
+        }
+        // Long out-of-transaction scoring pass, as in STAMP.
+        let gain = self.score_edge(parent, child);
+        if gain < 400 {
+            return; // not worth an insertion
+        }
+        rt.run(|tx| -> TxResult<()> {
+            let child_parents = tx.read(&self.parents[child])?;
+            if child_parents & (1 << parent) != 0 {
+                return Ok(()); // already present
+            }
+            if child_parents.count_ones() as usize >= self.config.max_parents {
+                return Ok(());
+            }
+            // Read the whole network for the cycle check — the long read
+            // set that makes bayes transactions conflict.
+            let mut snapshot = vec![0u64; self.config.variables];
+            for (v, pvar) in self.parents.iter().enumerate() {
+                snapshot[v] = tx.read(pvar)?;
+            }
+            snapshot[child] |= 1 << parent;
+            if Self::creates_cycle(&snapshot, parent, child) {
+                return Ok(());
+            }
+            tx.write(&self.parents[child], snapshot[child])?;
+            tx.modify(&self.score, |s| s + gain)?;
+            Ok(())
+        });
+    }
+
+    fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
+        rt.run(|tx| {
+            let mut snapshot = vec![0u64; self.config.variables];
+            for (v, pvar) in self.parents.iter().enumerate() {
+                snapshot[v] = tx.read(pvar)?;
+                if snapshot[v].count_ones() as usize > self.config.max_parents {
+                    return Ok(Err(format!("variable {v} exceeds max parents")));
+                }
+            }
+            // Global acyclicity via repeated leaf elimination.
+            let mut remaining: Vec<usize> = (0..self.config.variables).collect();
+            loop {
+                let before = remaining.len();
+                let still_in: Vec<usize> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        // Keep v if it still has a parent among the remaining.
+                        let mut ps = snapshot[v];
+                        while ps != 0 {
+                            let p = ps.trailing_zeros() as usize;
+                            ps &= ps - 1;
+                            if remaining.contains(&p) {
+                                return true;
+                            }
+                        }
+                        false
+                    })
+                    .collect();
+                remaining = still_in;
+                if remaining.is_empty() {
+                    return Ok(Ok(()));
+                }
+                if remaining.len() == before {
+                    return Ok(Err(format!("cycle among variables {remaining:?}")));
+                }
+            }
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn learns_planted_chain_edges() {
+        let rt = TmRuntime::new();
+        let w = Bayes::new(BayesConfig::default());
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..500 {
+            w.step(&rt, 0, &mut rng);
+        }
+        w.verify(&rt).unwrap();
+        assert!(
+            w.edge_count(&rt) > 0,
+            "the planted chain correlations must yield edges"
+        );
+        assert!(w.current_score(&rt) > 0);
+    }
+
+    #[test]
+    fn cycle_detection_blocks_back_edges() {
+        let parents = vec![0b010, 0b100, 0b000]; // 0<-1, 1<-2
+        assert!(
+            Bayes::creates_cycle(&parents, 0, 2),
+            "2->0 closes the cycle"
+        );
+        assert!(
+            !Bayes::creates_cycle(&parents, 2, 0),
+            "0->2 is redundant but acyclic"
+        );
+    }
+
+    #[test]
+    fn concurrent_learning_stays_acyclic() {
+        let rt = TmRuntime::new();
+        let w: Arc<dyn TxWorkload> = Arc::new(Bayes::new(BayesConfig::default()));
+        crate::harness::run_fixed_steps(&rt, &w, 4, 150, 19);
+        w.verify(&rt).unwrap();
+    }
+}

@@ -1,0 +1,163 @@
+//! `genome` — gene sequencing by segment deduplication and overlap
+//! matching.
+//!
+//! STAMP's genome reconstructs a reference string from overlapping
+//! segments: phase 1 deduplicates segments into a hash set, phase 2 links
+//! each segment to its unique successor. Transactions are short set/table
+//! operations with moderate contention on the shared structures — exactly
+//! the access pattern reproduced here: a transactional set of segment
+//! keys plus a transactional link table, fed from a seeded synthetic
+//! genome.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use shrink_stm::TmRuntime;
+
+use crate::harness::TxWorkload;
+use crate::rbtree::TxRbTree;
+
+/// Configuration of the genome workload.
+#[derive(Clone, Copy, Debug)]
+pub struct GenomeConfig {
+    /// Length of the synthetic reference genome.
+    pub genome_len: u64,
+    /// Segment length.
+    pub segment_len: u64,
+    /// Segments processed per transaction batch.
+    pub batch: usize,
+}
+
+impl Default for GenomeConfig {
+    fn default() -> Self {
+        GenomeConfig {
+            genome_len: 4096,
+            segment_len: 16,
+            batch: 4,
+        }
+    }
+}
+
+/// The genome workload.
+pub struct Genome {
+    config: GenomeConfig,
+    /// Segment start offset → 1 (the dedup set).
+    segments: TxRbTree,
+    /// Segment start offset → successor offset (the assembled chain).
+    links: TxRbTree,
+    processed: AtomicUsize,
+}
+
+impl fmt::Debug for Genome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Genome")
+            .field("config", &self.config)
+            .field("processed", &self.processed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Genome {
+    /// Creates the workload (no pre-population; segments arrive as work).
+    pub fn new(config: GenomeConfig) -> Self {
+        Genome {
+            config,
+            segments: TxRbTree::new(),
+            links: TxRbTree::new(),
+            processed: AtomicUsize::new(0),
+        }
+    }
+
+    fn segment_start(&self, rng: &mut StdRng) -> u64 {
+        let max = self.config.genome_len - self.config.segment_len;
+        rng.random_range(0..=max)
+    }
+}
+
+impl TxWorkload for Genome {
+    fn step(&self, rt: &TmRuntime, _worker: usize, rng: &mut StdRng) {
+        // Phase-1 style: deduplicate a batch of sampled segments.
+        let starts: Vec<u64> = (0..self.config.batch)
+            .map(|_| self.segment_start(rng))
+            .collect();
+        rt.run(|tx| {
+            for &s in &starts {
+                self.segments.insert(tx, s, 1)?;
+            }
+            Ok(())
+        });
+        // Phase-2 style: link one known segment to its overlap successor if
+        // both have been observed.
+        let anchor = self.segment_start(rng);
+        let overlap = self.config.segment_len / 2;
+        rt.run(|tx| {
+            if self.segments.contains(tx, anchor)? {
+                let successor = anchor + overlap;
+                if successor + self.config.segment_len <= self.config.genome_len
+                    && self.segments.contains(tx, successor)?
+                {
+                    self.links.insert(tx, anchor, successor)?;
+                }
+            }
+            Ok(())
+        });
+        self.processed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
+        rt.run(|tx| {
+            // Every link must connect two deduplicated segments with the
+            // fixed overlap.
+            let overlap = self.config.segment_len / 2;
+            for from in self.links.keys(tx)? {
+                let to = self.links.get(tx, from)?.expect("key just listed");
+                if to != from + overlap {
+                    return Ok(Err(format!("link {from}->{to} has wrong overlap")));
+                }
+                if !self.segments.contains(tx, from)? || !self.segments.contains(tx, to)? {
+                    return Ok(Err(format!("link {from}->{to} references unknown segment")));
+                }
+            }
+            match self.segments.check_invariants(tx)? {
+                Ok(_) => Ok(Ok(())),
+                Err(e) => Ok(Err(format!("segment set corrupt: {e}"))),
+            }
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "genome"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn links_respect_overlap_invariant() {
+        let rt = TmRuntime::new();
+        let g = Genome::new(GenomeConfig {
+            genome_len: 256,
+            segment_len: 8,
+            batch: 4,
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            g.step(&rt, 0, &mut rng);
+        }
+        g.verify(&rt).unwrap();
+    }
+
+    #[test]
+    fn concurrent_workers_build_consistent_tables() {
+        let rt = TmRuntime::new();
+        let g: Arc<dyn TxWorkload> = Arc::new(Genome::new(GenomeConfig::default()));
+        crate::harness::run_fixed_steps(&rt, &g, 4, 100, 5);
+        g.verify(&rt).unwrap();
+    }
+}

@@ -1,0 +1,217 @@
+//! `intruder` — signature-based network intrusion detection.
+//!
+//! STAMP's intruder pushes packet fragments through three phases: capture
+//! (dequeue from a single shared queue), reassembly (a shared map of
+//! per-flow fragment lists) and detection (scan the reassembled payload).
+//! The defining trait — which the paper calls out when explaining Shrink's
+//! win ("a high number of transactions dequeue elements from a single
+//! queue") — is the hot shared queue; it is kept faithfully hot here by
+//! storing the pending-fragment pool in a single `TVar`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use shrink_stm::{TVar, TmRuntime};
+
+use crate::harness::TxWorkload;
+use crate::rbtree::TxRbTree;
+
+/// One packet fragment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// Flow the fragment belongs to.
+    pub flow: u64,
+    /// Fragment index within the flow.
+    pub index: u32,
+    /// Total fragments in the flow.
+    pub total: u32,
+    /// True if this flow carries the planted attack signature.
+    pub attack: bool,
+}
+
+/// Configuration of the intruder workload.
+#[derive(Clone, Copy, Debug)]
+pub struct IntruderConfig {
+    /// Fragments per flow.
+    pub fragments_per_flow: u32,
+    /// One in `attack_ratio` flows carries an attack.
+    pub attack_ratio: u64,
+    /// Fragments injected when the queue runs dry.
+    pub refill: usize,
+}
+
+impl Default for IntruderConfig {
+    fn default() -> Self {
+        IntruderConfig {
+            fragments_per_flow: 4,
+            attack_ratio: 8,
+            refill: 32,
+        }
+    }
+}
+
+/// The intruder workload.
+pub struct Intruder {
+    config: IntruderConfig,
+    /// The hot shared fragment queue (single TVar, as in STAMP).
+    queue: TVar<Vec<Fragment>>,
+    /// flow id → bitmap of received fragment indices.
+    reassembly: TxRbTree,
+    /// flow id → 1 for flows flagged as attacks.
+    detected: TxRbTree,
+    next_flow: AtomicU64,
+    attacks_planted: AtomicU64,
+}
+
+impl fmt::Debug for Intruder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Intruder")
+            .field("config", &self.config)
+            .field("next_flow", &self.next_flow.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Intruder {
+    /// Creates the workload with an empty queue.
+    pub fn new(config: IntruderConfig) -> Self {
+        Intruder {
+            config,
+            queue: TVar::new(Vec::new()),
+            reassembly: TxRbTree::new(),
+            detected: TxRbTree::new(),
+            next_flow: AtomicU64::new(1),
+            attacks_planted: AtomicU64::new(0),
+        }
+    }
+
+    /// Generates a batch of fragments from whole flows, shuffled.
+    fn generate_fragments(&self, rng: &mut StdRng) -> Vec<Fragment> {
+        let mut batch = Vec::with_capacity(self.config.refill);
+        while batch.len() < self.config.refill {
+            let flow = self.next_flow.fetch_add(1, Ordering::Relaxed);
+            let attack = flow % self.config.attack_ratio == 0;
+            if attack {
+                self.attacks_planted.fetch_add(1, Ordering::Relaxed);
+            }
+            for index in 0..self.config.fragments_per_flow {
+                batch.push(Fragment {
+                    flow,
+                    index,
+                    total: self.config.fragments_per_flow,
+                    attack,
+                });
+            }
+        }
+        // Fisher–Yates shuffle so fragments arrive out of order.
+        for i in (1..batch.len()).rev() {
+            let j = rng.random_range(0..=i);
+            batch.swap(i, j);
+        }
+        batch
+    }
+
+    /// Total flows flagged as attacks so far.
+    pub fn detected_count(&self, rt: &TmRuntime) -> usize {
+        rt.run(|tx| self.detected.len(tx))
+    }
+}
+
+impl TxWorkload for Intruder {
+    fn step(&self, rt: &TmRuntime, _worker: usize, rng: &mut StdRng) {
+        // Capture phase: pop one fragment from the hot queue (refilling
+        // outside the hot path when empty).
+        let fragment = rt.run(|tx| {
+            let mut q = tx.read(&self.queue)?;
+            let frag = q.pop();
+            tx.write(&self.queue, q)?;
+            Ok(frag)
+        });
+        let fragment = match fragment {
+            Some(f) => f,
+            None => {
+                let batch = self.generate_fragments(rng);
+                rt.run(|tx| {
+                    let mut q = tx.read(&self.queue)?;
+                    q.extend_from_slice(&batch);
+                    tx.write(&self.queue, q)
+                });
+                return;
+            }
+        };
+
+        // Reassembly phase: set this fragment's bit; if the flow is
+        // complete, run detection.
+        rt.run(|tx| {
+            let bits = self.reassembly.get(tx, fragment.flow)?.unwrap_or(0);
+            let bits = bits | (1u64 << fragment.index);
+            let complete = bits.count_ones() == fragment.total;
+            if complete {
+                self.reassembly.remove(tx, fragment.flow)?;
+                // Detection phase: "scan" the payload; the signature is the
+                // planted attack bit.
+                if fragment.attack {
+                    self.detected.insert(tx, fragment.flow, 1)?;
+                }
+            } else {
+                self.reassembly.insert(tx, fragment.flow, bits)?;
+            }
+            Ok(())
+        });
+    }
+
+    fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
+        rt.run(|tx| {
+            // Every detected flow must be a planted attack flow.
+            for flow in self.detected.keys(tx)? {
+                if flow % self.config.attack_ratio != 0 {
+                    return Ok(Err(format!("flow {flow} flagged but not an attack")));
+                }
+            }
+            // Reassembly bitmaps never exceed the fragment count.
+            for flow in self.reassembly.keys(tx)? {
+                let bits = self.reassembly.get(tx, flow)?.expect("listed key");
+                if bits.count_ones() >= self.config.fragments_per_flow {
+                    return Ok(Err(format!("flow {flow} complete but still in reassembly")));
+                }
+            }
+            Ok(Ok(()))
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "intruder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn drains_flows_and_detects_only_planted_attacks() {
+        let rt = TmRuntime::new();
+        let w = Intruder::new(IntruderConfig::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..2000 {
+            w.step(&rt, 0, &mut rng);
+        }
+        w.verify(&rt).unwrap();
+        assert!(
+            w.detected_count(&rt) > 0,
+            "some planted attacks must be detected after 2000 steps"
+        );
+    }
+
+    #[test]
+    fn concurrent_capture_is_consistent() {
+        let rt = TmRuntime::new();
+        let w: Arc<dyn TxWorkload> = Arc::new(Intruder::new(IntruderConfig::default()));
+        crate::harness::run_fixed_steps(&rt, &w, 4, 200, 3);
+        w.verify(&rt).unwrap();
+    }
+}

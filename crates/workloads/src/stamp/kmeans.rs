@@ -1,0 +1,199 @@
+//! `kmeans` — iterative clustering with transactional centroid updates.
+//!
+//! STAMP's kmeans assigns points to their nearest centroid and accumulates
+//! per-centroid sums inside small transactions. Contention is set by the
+//! number of clusters: the *high* configuration uses few clusters (every
+//! update hits a hot centroid), *low* uses many.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shrink_stm::{TVar, TmRuntime, TxResult};
+
+use crate::harness::TxWorkload;
+
+const DIM: usize = 4;
+
+/// Per-centroid transactional accumulator.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Centroid {
+    sum: [f64; DIM],
+    count: u64,
+}
+
+/// Configuration of the kmeans workload.
+#[derive(Clone, Copy, Debug)]
+pub struct KmeansConfig {
+    /// Number of clusters (small = high contention).
+    pub clusters: usize,
+    /// Number of synthetic points.
+    pub points: usize,
+    /// Points processed per transaction.
+    pub batch: usize,
+}
+
+impl KmeansConfig {
+    /// STAMP's `kmeans-high` analogue: few clusters, hot centroids.
+    pub fn high_contention() -> Self {
+        KmeansConfig {
+            clusters: 4,
+            points: 2048,
+            batch: 4,
+        }
+    }
+
+    /// STAMP's `kmeans-low` analogue: many clusters.
+    pub fn low_contention() -> Self {
+        KmeansConfig {
+            clusters: 64,
+            points: 2048,
+            batch: 4,
+        }
+    }
+}
+
+/// The kmeans workload.
+pub struct Kmeans {
+    config: KmeansConfig,
+    points: Vec<[f64; DIM]>,
+    centers: Vec<[f64; DIM]>,
+    accumulators: Vec<TVar<Centroid>>,
+    label: &'static str,
+}
+
+impl fmt::Debug for Kmeans {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kmeans")
+            .field("clusters", &self.config.clusters)
+            .field("points", &self.points.len())
+            .finish()
+    }
+}
+
+impl Kmeans {
+    /// Creates the workload with seeded synthetic points.
+    pub fn new(config: KmeansConfig, label: &'static str) -> Self {
+        let mut rng = StdRng::seed_from_u64(0x4B17);
+        let centers: Vec<[f64; DIM]> = (0..config.clusters)
+            .map(|_| std::array::from_fn(|_| rng.random_range(-10.0..10.0)))
+            .collect();
+        // Points scatter around the centers.
+        let points: Vec<[f64; DIM]> = (0..config.points)
+            .map(|i| {
+                let c = centers[i % centers.len()];
+                std::array::from_fn(|d| c[d] + rng.random_range(-1.0..1.0))
+            })
+            .collect();
+        Kmeans {
+            config,
+            points,
+            centers,
+            accumulators: (0..config.clusters)
+                .map(|_| TVar::new(Centroid::default()))
+                .collect(),
+            label,
+        }
+    }
+
+    fn nearest_center(&self, p: &[f64; DIM]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.centers.iter().enumerate() {
+            let d: f64 = (0..DIM).map(|k| (p[k] - c[k]).powi(2)).sum();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sum of per-centroid point counts.
+    pub fn assigned_total(&self, rt: &TmRuntime) -> u64 {
+        rt.run(|tx| {
+            let mut total = 0;
+            for acc in &self.accumulators {
+                total += tx.read(acc)?.count;
+            }
+            Ok(total)
+        })
+    }
+}
+
+impl TxWorkload for Kmeans {
+    fn step(&self, rt: &TmRuntime, _worker: usize, rng: &mut StdRng) {
+        // Assign a batch of points; the distance computation runs outside
+        // the transaction (it reads only immutable data), the accumulator
+        // update inside — mirroring STAMP's structure.
+        let picks: Vec<usize> = (0..self.config.batch)
+            .map(|_| rng.random_range(0..self.points.len()))
+            .collect();
+        let assignments: Vec<(usize, [f64; DIM])> = picks
+            .iter()
+            .map(|&i| (self.nearest_center(&self.points[i]), self.points[i]))
+            .collect();
+        rt.run(|tx| -> TxResult<()> {
+            for (cluster, p) in &assignments {
+                let mut acc = tx.read(&self.accumulators[*cluster])?;
+                for d in 0..DIM {
+                    acc.sum[d] += p[d];
+                }
+                acc.count += 1;
+                tx.write(&self.accumulators[*cluster], acc)?;
+            }
+            Ok(())
+        });
+    }
+
+    fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
+        // Counts must be non-negative and means must stay within the data
+        // bounding box — accumulator corruption would break both.
+        rt.run(|tx| {
+            for (i, acc) in self.accumulators.iter().enumerate() {
+                let c = tx.read(acc)?;
+                if c.count > 0 {
+                    for d in 0..DIM {
+                        let mean = c.sum[d] / c.count as f64;
+                        if !(-12.0..=12.0).contains(&mean) {
+                            return Ok(Err(format!("centroid {i} mean {mean} out of data range")));
+                        }
+                    }
+                }
+            }
+            Ok(Ok(()))
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn assignments_accumulate_exactly() {
+        let rt = TmRuntime::new();
+        let w = Kmeans::new(KmeansConfig::high_contention(), "kmeans-high");
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            w.step(&rt, 0, &mut rng);
+        }
+        assert_eq!(w.assigned_total(&rt), 400, "4 points per step * 100 steps");
+        w.verify(&rt).unwrap();
+    }
+
+    #[test]
+    fn concurrent_accumulation_loses_nothing() {
+        let rt = TmRuntime::new();
+        let w = Arc::new(Kmeans::new(KmeansConfig::low_contention(), "kmeans-low"));
+        let dyn_w: Arc<dyn TxWorkload> = w.clone();
+        crate::harness::run_fixed_steps(&rt, &dyn_w, 4, 50, 1);
+        assert_eq!(w.assigned_total(&rt), 4 * 50 * 4);
+        w.verify(&rt).unwrap();
+    }
+}

@@ -1,0 +1,219 @@
+//! `labyrinth` — parallel maze routing (Lee's algorithm, STAMP-style).
+//!
+//! Each transaction copies the grid (a large read set), computes a route
+//! between two free endpoints, and claims the route's cells (a multi-cell
+//! write set). Transactions are long, so conflicts — two routes crossing —
+//! are expensive, which is the workload's defining character.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use shrink_stm::{TVar, TmRuntime, TxResult};
+
+use crate::harness::TxWorkload;
+
+/// Configuration of the labyrinth workload.
+#[derive(Clone, Copy, Debug)]
+pub struct LabyrinthConfig {
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+}
+
+impl Default for LabyrinthConfig {
+    fn default() -> Self {
+        LabyrinthConfig {
+            width: 24,
+            height: 24,
+        }
+    }
+}
+
+/// The labyrinth workload: a grid of cells, 0 = free, otherwise the id of
+/// the path occupying the cell.
+pub struct Labyrinth {
+    config: LabyrinthConfig,
+    grid: Vec<TVar<u64>>,
+    next_path: AtomicU64,
+    routed: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl fmt::Debug for Labyrinth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Labyrinth")
+            .field("config", &self.config)
+            .field("routed", &self.routed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Labyrinth {
+    /// Creates an empty grid.
+    pub fn new(config: LabyrinthConfig) -> Self {
+        Labyrinth {
+            grid: (0..config.width * config.height)
+                .map(|_| TVar::new(0))
+                .collect(),
+            config,
+            next_path: AtomicU64::new(1),
+            routed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    fn at(&self, x: usize, y: usize) -> &TVar<u64> {
+        &self.grid[y * self.config.width + x]
+    }
+
+    /// An L-shaped candidate route from `(x0,y0)` to `(x1,y1)`.
+    fn l_route(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> Vec<(usize, usize)> {
+        let mut cells = Vec::new();
+        let mut x = x0;
+        while x != x1 {
+            cells.push((x, y0));
+            x = if x < x1 { x + 1 } else { x - 1 };
+        }
+        let mut y = y0;
+        while y != y1 {
+            cells.push((x1, y));
+            y = if y < y1 { y + 1 } else { y - 1 };
+        }
+        cells.push((x1, y1));
+        cells
+    }
+
+    /// Successfully routed paths.
+    pub fn routed_count(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
+    }
+
+    /// Routing attempts that found no free route.
+    pub fn failed_count(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
+
+impl TxWorkload for Labyrinth {
+    fn step(&self, rt: &TmRuntime, _worker: usize, rng: &mut StdRng) {
+        let (w, h) = (self.config.width, self.config.height);
+        let (x0, y0) = (rng.random_range(0..w), rng.random_range(0..h));
+        let (x1, y1) = (rng.random_range(0..w), rng.random_range(0..h));
+        let path_id = self.next_path.fetch_add(1, Ordering::Relaxed);
+        let routed = rt.run(|tx| -> TxResult<bool> {
+            // Grid copy: STAMP's labyrinth reads the whole grid into a
+            // private copy before routing — the long read set is the point.
+            let mut occupied = vec![false; w * h];
+            for (i, cell) in self.grid.iter().enumerate() {
+                occupied[i] = tx.read(cell)? != 0;
+            }
+            // Try the two L-shaped routes between the endpoints.
+            let candidates = [self.l_route(x0, y0, x1, y1), self.l_route(x1, y1, x0, y0)];
+            for route in &candidates {
+                if route.iter().all(|&(x, y)| !occupied[y * w + x]) {
+                    for &(x, y) in route {
+                        tx.write(self.at(x, y), path_id)?;
+                    }
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        });
+        if routed {
+            self.routed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
+        // Each path id must occupy a 4-connected set of cells.
+        let (w, h) = (self.config.width, self.config.height);
+        let cells: Vec<u64> = rt.run(|tx| {
+            let mut out = Vec::with_capacity(w * h);
+            for cell in &self.grid {
+                out.push(tx.read(cell)?);
+            }
+            Ok(out)
+        });
+        let mut by_path: std::collections::HashMap<u64, Vec<(usize, usize)>> =
+            std::collections::HashMap::new();
+        for y in 0..h {
+            for x in 0..w {
+                let id = cells[y * w + x];
+                if id != 0 {
+                    by_path.entry(id).or_default().push((x, y));
+                }
+            }
+        }
+        for (id, members) in &by_path {
+            // Flood fill from the first member must reach all members.
+            let mut seen = std::collections::HashSet::new();
+            let mut stack = vec![members[0]];
+            while let Some((x, y)) = stack.pop() {
+                if !seen.insert((x, y)) {
+                    continue;
+                }
+                let neighbours = [
+                    (x.wrapping_sub(1), y),
+                    (x + 1, y),
+                    (x, y.wrapping_sub(1)),
+                    (x, y + 1),
+                ];
+                for &(nx, ny) in &neighbours {
+                    if nx < w && ny < h && cells[ny * w + nx] == *id && !seen.contains(&(nx, ny)) {
+                        stack.push((nx, ny));
+                    }
+                }
+            }
+            if seen.len() != members.len() {
+                return Err(format!(
+                    "path {id} is disconnected: {} of {} cells reachable",
+                    seen.len(),
+                    members.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "labyrinth"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn routes_are_connected_and_disjoint() {
+        let rt = TmRuntime::new();
+        let w = Labyrinth::new(LabyrinthConfig {
+            width: 12,
+            height: 12,
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..40 {
+            w.step(&rt, 0, &mut rng);
+        }
+        assert!(w.routed_count() > 0, "some routes must succeed");
+        w.verify(&rt).unwrap();
+    }
+
+    #[test]
+    fn concurrent_routing_never_crosses_paths() {
+        let rt = TmRuntime::new();
+        let w: Arc<dyn TxWorkload> = Arc::new(Labyrinth::new(LabyrinthConfig {
+            width: 16,
+            height: 16,
+        }));
+        crate::harness::run_fixed_steps(&rt, &w, 4, 30, 8);
+        w.verify(&rt).unwrap();
+    }
+}

@@ -1,0 +1,164 @@
+//! `ssca2` — scalable graph kernel 1: parallel graph construction.
+//!
+//! STAMP's ssca2 inserts edges into per-node adjacency arrays inside tiny
+//! transactions. With many nodes the probability of two threads touching
+//! the same node is low, so the workload is short-transaction /
+//! low-contention — the configuration in which schedulers must stay out of
+//! the way.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use shrink_stm::{TVar, TmRuntime, TxResult};
+
+use crate::harness::TxWorkload;
+
+/// Configuration of the ssca2 workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Ssca2Config {
+    /// Number of graph nodes.
+    pub nodes: usize,
+    /// Edges inserted per transaction.
+    pub batch: usize,
+}
+
+impl Default for Ssca2Config {
+    fn default() -> Self {
+        Ssca2Config {
+            nodes: 1024,
+            batch: 4,
+        }
+    }
+}
+
+/// The ssca2 workload: an undirected multigraph under concurrent
+/// construction.
+pub struct Ssca2 {
+    config: Ssca2Config,
+    adjacency: Vec<TVar<Vec<u64>>>,
+    edges_added: AtomicU64,
+}
+
+impl fmt::Debug for Ssca2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ssca2")
+            .field("nodes", &self.config.nodes)
+            .field("edges_added", &self.edges_added.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Ssca2 {
+    /// Creates an edgeless graph.
+    pub fn new(config: Ssca2Config) -> Self {
+        Ssca2 {
+            adjacency: (0..config.nodes).map(|_| TVar::new(Vec::new())).collect(),
+            config,
+            edges_added: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of successfully added edges.
+    pub fn edges_added(&self) -> u64 {
+        self.edges_added.load(Ordering::Relaxed)
+    }
+}
+
+impl TxWorkload for Ssca2 {
+    fn step(&self, rt: &TmRuntime, _worker: usize, rng: &mut StdRng) {
+        let pairs: Vec<(usize, usize)> = (0..self.config.batch)
+            .map(|_| {
+                let u = rng.random_range(0..self.config.nodes);
+                let v = rng.random_range(0..self.config.nodes);
+                (u, v)
+            })
+            .filter(|(u, v)| u != v)
+            .collect();
+        let added = pairs.len() as u64;
+        rt.run(|tx| -> TxResult<()> {
+            for &(u, v) in &pairs {
+                let mut adj_u = tx.read(&self.adjacency[u])?;
+                adj_u.push(v as u64);
+                tx.write(&self.adjacency[u], adj_u)?;
+                let mut adj_v = tx.read(&self.adjacency[v])?;
+                adj_v.push(u as u64);
+                tx.write(&self.adjacency[v], adj_v)?;
+            }
+            Ok(())
+        });
+        self.edges_added.fetch_add(added, Ordering::Relaxed);
+    }
+
+    fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
+        // The graph must be symmetric and contain exactly the number of
+        // added edges.
+        let adjacency: Vec<Vec<u64>> = rt.run(|tx| {
+            let mut out = Vec::with_capacity(self.config.nodes);
+            for adj in &self.adjacency {
+                out.push(tx.read(adj)?);
+            }
+            Ok(out)
+        });
+        let half_edges: usize = adjacency.iter().map(|a| a.len()).sum();
+        let expected = self.edges_added() as usize * 2;
+        if half_edges != expected {
+            return Err(format!(
+                "adjacency holds {half_edges} half-edges, expected {expected}"
+            ));
+        }
+        // Symmetry: count(u→v) == count(v→u).
+        let mut counts: std::collections::HashMap<(u64, u64), i64> =
+            std::collections::HashMap::new();
+        for (u, adj) in adjacency.iter().enumerate() {
+            for &v in adj {
+                let key = if (u as u64) < v {
+                    (u as u64, v)
+                } else {
+                    (v, u as u64)
+                };
+                let delta = if (u as u64) < v { 1 } else { -1 };
+                *counts.entry(key).or_insert(0) += delta;
+            }
+        }
+        if let Some((&(u, v), &c)) = counts.iter().find(|(_, &c)| c != 0) {
+            return Err(format!("asymmetric edge {u}–{v} (imbalance {c})"));
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "ssca2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn edges_are_symmetric_and_counted() {
+        let rt = TmRuntime::new();
+        let w = Ssca2::new(Ssca2Config {
+            nodes: 64,
+            batch: 4,
+        });
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            w.step(&rt, 0, &mut rng);
+        }
+        w.verify(&rt).unwrap();
+        assert!(w.edges_added() > 0);
+    }
+
+    #[test]
+    fn concurrent_construction_is_consistent() {
+        let rt = TmRuntime::new();
+        let w: Arc<dyn TxWorkload> = Arc::new(Ssca2::new(Ssca2Config::default()));
+        crate::harness::run_fixed_steps(&rt, &w, 4, 200, 2);
+        w.verify(&rt).unwrap();
+    }
+}

@@ -1,0 +1,245 @@
+//! `vacation` — a travel-reservation database.
+//!
+//! STAMP's vacation runs an in-memory database of cars, flights and rooms
+//! plus customer records, all stored in red-black trees. Client
+//! transactions browse a window of items and make the cheapest available
+//! reservation. Contention is governed by how broad the query window is
+//! relative to the table: the *high* configuration queries a wide window of
+//! a small table, *low* a narrow window of a large one.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use shrink_stm::{TmRuntime, Tx, TxResult};
+
+use crate::harness::TxWorkload;
+use crate::rbtree::TxRbTree;
+
+/// Item availability is packed into the tree's `u64` value:
+/// high 32 bits = total capacity, low 32 bits = reserved count.
+fn pack(total: u32, reserved: u32) -> u64 {
+    ((total as u64) << 32) | reserved as u64
+}
+
+fn unpack(value: u64) -> (u32, u32) {
+    ((value >> 32) as u32, value as u32)
+}
+
+/// Configuration of the vacation workload.
+#[derive(Clone, Copy, Debug)]
+pub struct VacationConfig {
+    /// Rows per table.
+    pub rows: u64,
+    /// Items examined per reservation query.
+    pub query_window: u64,
+    /// Capacity per item.
+    pub capacity: u32,
+    /// Percentage of steps that only browse.
+    pub browse_pct: u32,
+}
+
+impl VacationConfig {
+    /// STAMP's `vacation-high` analogue.
+    pub fn high_contention() -> Self {
+        VacationConfig {
+            rows: 64,
+            query_window: 8,
+            capacity: 1 << 30,
+            browse_pct: 20,
+        }
+    }
+
+    /// STAMP's `vacation-low` analogue.
+    pub fn low_contention() -> Self {
+        VacationConfig {
+            rows: 1024,
+            query_window: 4,
+            capacity: 1 << 30,
+            browse_pct: 60,
+        }
+    }
+}
+
+/// The three reservation tables.
+const TABLES: usize = 3;
+
+/// The vacation workload.
+pub struct Vacation {
+    config: VacationConfig,
+    /// cars, flights, rooms: item id → packed (total, reserved).
+    tables: [TxRbTree; TABLES],
+    /// customer id → accumulated bill.
+    customers: TxRbTree,
+    label: &'static str,
+}
+
+impl fmt::Debug for Vacation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vacation")
+            .field("rows", &self.config.rows)
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+impl Vacation {
+    /// Builds and populates the database.
+    pub fn new(rt: &TmRuntime, config: VacationConfig, label: &'static str) -> Self {
+        let tables = [TxRbTree::new(), TxRbTree::new(), TxRbTree::new()];
+        for table in &tables {
+            for id in 0..config.rows {
+                rt.run(|tx| table.insert(tx, id, pack(config.capacity, 0)));
+            }
+        }
+        Vacation {
+            config,
+            tables,
+            customers: TxRbTree::new(),
+            label,
+        }
+    }
+
+    /// Price of an item — a fixed function of its table and id, so billing
+    /// can be audited.
+    fn price(table: usize, id: u64) -> u64 {
+        100 + (table as u64) * 17 + id % 37
+    }
+
+    fn reserve(&self, tx: &mut Tx<'_>, customer: u64, window: &[(usize, u64)]) -> TxResult<()> {
+        // Browse the window and pick the cheapest available item.
+        let mut best: Option<(usize, u64, u64)> = None;
+        for &(table, id) in window {
+            if let Some(value) = self.tables[table].get(tx, id)? {
+                let (total, reserved) = unpack(value);
+                if reserved < total {
+                    let price = Self::price(table, id);
+                    if best.is_none_or(|(_, _, p)| price < p) {
+                        best = Some((table, id, price));
+                    }
+                }
+            }
+        }
+        if let Some((table, id, price)) = best {
+            let value = self.tables[table].get(tx, id)?.expect("item just seen");
+            let (total, reserved) = unpack(value);
+            self.tables[table].insert(tx, id, pack(total, reserved + 1))?;
+            let bill = self.customers.get(tx, customer)?.unwrap_or(0);
+            self.customers.insert(tx, customer, bill + price)?;
+        }
+        Ok(())
+    }
+
+    /// Sum of all customer bills.
+    pub fn total_billed(&self, rt: &TmRuntime) -> u64 {
+        rt.run(|tx| {
+            let mut total = 0;
+            for customer in self.customers.keys(tx)? {
+                total += self.customers.get(tx, customer)?.unwrap_or(0);
+            }
+            Ok(total)
+        })
+    }
+}
+
+impl TxWorkload for Vacation {
+    fn step(&self, rt: &TmRuntime, worker: usize, rng: &mut StdRng) {
+        let window: Vec<(usize, u64)> = (0..self.config.query_window)
+            .map(|_| {
+                (
+                    rng.random_range(0..TABLES),
+                    rng.random_range(0..self.config.rows),
+                )
+            })
+            .collect();
+        if rng.random_range(0..100) < self.config.browse_pct {
+            // Browse-only: read the window, no writes.
+            rt.run(|tx| {
+                let mut available = 0u64;
+                for &(table, id) in &window {
+                    if let Some(value) = self.tables[table].get(tx, id)? {
+                        let (total, reserved) = unpack(value);
+                        if reserved < total {
+                            available += 1;
+                        }
+                    }
+                }
+                Ok(available)
+            });
+        } else {
+            let customer = worker as u64;
+            rt.run(|tx| self.reserve(tx, customer, &window));
+        }
+    }
+
+    fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
+        rt.run(|tx| {
+            // Reservations never exceed capacity, and the billed total
+            // equals the sum over items of reserved * price.
+            let mut expected_billing = 0u64;
+            for (t, table) in self.tables.iter().enumerate() {
+                for id in table.keys(tx)? {
+                    let (total, reserved) = unpack(table.get(tx, id)?.expect("listed key"));
+                    if reserved > total {
+                        return Ok(Err(format!(
+                            "table {t} item {id}: reserved {reserved} > capacity {total}"
+                        )));
+                    }
+                    expected_billing += reserved as u64 * Self::price(t, id);
+                }
+            }
+            let mut billed = 0u64;
+            for customer in self.customers.keys(tx)? {
+                billed += self.customers.get(tx, customer)?.unwrap_or(0);
+            }
+            if billed != expected_billing {
+                return Ok(Err(format!(
+                    "billing mismatch: customers hold {billed}, reservations imply {expected_billing}"
+                )));
+            }
+            Ok(Ok(()))
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn packing_round_trips() {
+        let v = pack(7, 3);
+        assert_eq!(unpack(v), (7, 3));
+        assert_eq!(unpack(pack(u32::MAX, 0)), (u32::MAX, 0));
+    }
+
+    #[test]
+    fn reservations_bill_exactly() {
+        let rt = TmRuntime::new();
+        let w = Vacation::new(&rt, VacationConfig::high_contention(), "vacation-high");
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..300 {
+            w.step(&rt, 0, &mut rng);
+        }
+        w.verify(&rt).unwrap();
+        assert!(w.total_billed(&rt) > 0, "reservations must have been made");
+    }
+
+    #[test]
+    fn concurrent_reservations_stay_consistent() {
+        let rt = TmRuntime::new();
+        let w: Arc<dyn TxWorkload> = Arc::new(Vacation::new(
+            &rt,
+            VacationConfig::low_contention(),
+            "vacation-low",
+        ));
+        crate::harness::run_fixed_steps(&rt, &w, 4, 100, 13);
+        w.verify(&rt).unwrap();
+    }
+}

@@ -1,0 +1,224 @@
+//! `yada` — Delaunay mesh refinement (Ruppert's algorithm, STAMP-style).
+//!
+//! STAMP's yada repeatedly takes a *bad* triangle from a shared work heap,
+//! gathers the surrounding cavity, re-triangulates it and pushes any newly
+//! bad triangles back. Transactions combine a hot work queue, a multi-
+//! element cavity read set and a multi-element write set. This port keeps
+//! that exact transaction shape over a simplified mesh: triangles live in a
+//! transactional registry keyed by id, cavities are the triangle's
+//! neighbour ring, and refinement replaces the cavity by freshly allocated
+//! triangles whose "badness" decays with subdivision depth — guaranteeing
+//! termination just as Ruppert's angle bound does.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use shrink_stm::{TVar, TmRuntime, TxResult};
+
+use crate::harness::TxWorkload;
+use crate::rbtree::TxRbTree;
+
+/// Configuration of the yada workload.
+#[derive(Clone, Copy, Debug)]
+pub struct YadaConfig {
+    /// Initial number of bad triangles.
+    pub initial_bad: u64,
+    /// Subdivision depth at which triangles are always good.
+    pub max_depth: u64,
+    /// Cavity size (triangles read/replaced per refinement).
+    pub cavity: usize,
+}
+
+impl Default for YadaConfig {
+    fn default() -> Self {
+        YadaConfig {
+            initial_bad: 64,
+            max_depth: 4,
+            cavity: 4,
+        }
+    }
+}
+
+/// The yada workload.
+///
+/// `triangles` maps triangle id → subdivision depth (present = alive);
+/// `work` is the shared bad-triangle pool.
+pub struct Yada {
+    config: YadaConfig,
+    triangles: TxRbTree,
+    work: TVar<Vec<u64>>,
+    next_id: AtomicU64,
+    refined: AtomicU64,
+}
+
+impl fmt::Debug for Yada {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Yada")
+            .field("config", &self.config)
+            .field("refined", &self.refined.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Yada {
+    /// Builds the initial mesh with `initial_bad` bad triangles at depth 0.
+    pub fn new(rt: &TmRuntime, config: YadaConfig) -> Self {
+        let triangles = TxRbTree::new();
+        let initial: Vec<u64> = (1..=config.initial_bad).collect();
+        for &id in &initial {
+            rt.run(|tx| triangles.insert(tx, id, 0));
+        }
+        let work = TVar::new(initial);
+        Yada {
+            config,
+            triangles,
+            work,
+            next_id: AtomicU64::new(config.initial_bad + 1),
+            refined: AtomicU64::new(0),
+        }
+    }
+
+    /// Triangles refined so far.
+    pub fn refined_count(&self) -> u64 {
+        self.refined.load(Ordering::Relaxed)
+    }
+
+    /// True when no bad triangles remain.
+    pub fn converged(&self, rt: &TmRuntime) -> bool {
+        rt.run(|tx| Ok(tx.read(&self.work)?.is_empty()))
+    }
+}
+
+impl TxWorkload for Yada {
+    fn step(&self, rt: &TmRuntime, _worker: usize, rng: &mut StdRng) {
+        // Pre-allocate ids for the replacement triangles outside the
+        // transaction (the id counter is not transactional state).
+        let replacement_ids: Vec<u64> = (0..self.config.cavity + 1)
+            .map(|_| self.next_id.fetch_add(1, Ordering::Relaxed))
+            .collect();
+        let pick: u64 = rng.random();
+        let refined = rt.run(|tx| -> TxResult<bool> {
+            // Take a bad triangle from the shared pool.
+            let mut work = tx.read(&self.work)?;
+            if work.is_empty() {
+                return Ok(false);
+            }
+            let slot = (pick % work.len() as u64) as usize;
+            let bad = work.swap_remove(slot);
+
+            let depth = match self.triangles.get(tx, bad)? {
+                Some(d) => d,
+                None => {
+                    // Already consumed by a neighbouring cavity; just drop
+                    // the stale work item.
+                    tx.write(&self.work, work)?;
+                    return Ok(false);
+                }
+            };
+
+            // Gather the cavity: neighbouring alive triangles by id
+            // proximity (our simplified adjacency).
+            let mut cavity = vec![bad];
+            let mut probe = bad;
+            while cavity.len() < self.config.cavity {
+                probe = probe.saturating_sub(1);
+                if probe == 0 {
+                    break;
+                }
+                if self.triangles.get(tx, probe)?.is_some() && !cavity.contains(&probe) {
+                    cavity.push(probe);
+                }
+            }
+
+            // Retriangulate: remove the cavity, insert replacements one
+            // level deeper; deeper-than-threshold triangles are good.
+            for &t in &cavity {
+                self.triangles.remove(tx, t)?;
+                work.retain(|&w| w != t);
+            }
+            let new_depth = depth + 1;
+            for &id in &replacement_ids {
+                self.triangles.insert(tx, id, new_depth)?;
+                if new_depth < self.config.max_depth {
+                    work.push(id);
+                }
+            }
+            tx.write(&self.work, work)?;
+            Ok(true)
+        });
+        if refined {
+            self.refined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
+        rt.run(|tx| {
+            // Every queued work item must reference an alive triangle with
+            // refinable depth, and no alive triangle exceeds max depth.
+            let work = tx.read(&self.work)?;
+            for &id in &work {
+                match self.triangles.get(tx, id)? {
+                    None => return Ok(Err(format!("work item {id} references dead triangle"))),
+                    Some(d) if d >= self.config.max_depth => {
+                        return Ok(Err(format!("work item {id} at terminal depth {d}")))
+                    }
+                    Some(_) => {}
+                }
+            }
+            for id in self.triangles.keys(tx)? {
+                let d = self.triangles.get(tx, id)?.expect("listed key");
+                if d > self.config.max_depth {
+                    return Ok(Err(format!("triangle {id} beyond max depth: {d}")));
+                }
+            }
+            match self.triangles.check_invariants(tx)? {
+                Ok(_) => Ok(Ok(())),
+                Err(e) => Ok(Err(format!("triangle registry corrupt: {e}"))),
+            }
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "yada"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn refinement_terminates_at_max_depth() {
+        let rt = TmRuntime::new();
+        let w = Yada::new(
+            &rt,
+            YadaConfig {
+                initial_bad: 8,
+                max_depth: 3,
+                cavity: 3,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..5000 {
+            w.step(&rt, 0, &mut rng);
+            if w.converged(&rt) {
+                break;
+            }
+        }
+        assert!(w.converged(&rt), "refinement must drain the work pool");
+        w.verify(&rt).unwrap();
+        assert!(w.refined_count() > 0);
+    }
+
+    #[test]
+    fn concurrent_refinement_stays_consistent() {
+        let rt = TmRuntime::new();
+        let w: Arc<dyn TxWorkload> = Arc::new(Yada::new(&rt, YadaConfig::default()));
+        crate::harness::run_fixed_steps(&rt, &w, 4, 60, 17);
+        w.verify(&rt).unwrap();
+    }
+}

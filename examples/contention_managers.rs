@@ -1,0 +1,59 @@
+//! "Curing" conflicts: the classic contention managers compared on a hot
+//! counter, illustrating the paper's titular contrast — these policies act
+//! only *after* a conflict exists, while Shrink prevents the conflict from
+//! being scheduled at all.
+//!
+//! Run with: `cargo run --release --example contention_managers`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use shrink::prelude::*;
+use shrink::stm::CmPolicy;
+
+fn main() {
+    const THREADS: usize = 8;
+    const INCREMENTS: usize = 2_000;
+    println!(
+        "{:>12} {:>10} {:>10} {:>12}",
+        "cm", "commits", "aborts", "elapsed"
+    );
+    for policy in [
+        CmPolicy::TwoPhase,
+        CmPolicy::Suicide,
+        CmPolicy::Polite,
+        CmPolicy::Karma,
+    ] {
+        let rt = TmRuntime::builder()
+            .backend(BackendKind::Swiss)
+            .cm_policy(policy)
+            .build();
+        let hot = TVar::new(0u64);
+        let started = Instant::now();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let rt = rt.clone();
+                let hot = hot.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..INCREMENTS {
+                        rt.run(|tx| tx.modify(&hot, |v| v + 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let stats = rt.stats();
+        assert_eq!(hot.snapshot(), (THREADS * INCREMENTS) as u64);
+        println!(
+            "{:>12} {:>10} {:>10} {:>10.0}ms",
+            policy.to_string(),
+            stats.commits,
+            stats.aborts,
+            started.elapsed().as_secs_f64() * 1000.0
+        );
+    }
+    println!("all policies serialized the hot counter correctly");
+    let _ = Arc::new(()); // keep the import shape consistent with other examples
+}

@@ -1,0 +1,59 @@
+//! Quickstart: composable atomic operations with a Shrink-scheduled STM.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use shrink::prelude::*;
+
+fn main() {
+    // A runtime with the paper's scheduler. Keeping the typed Arc lets us
+    // read Shrink's prediction statistics afterwards.
+    let shrink = Arc::new(Shrink::new(ShrinkConfig::default()));
+    let rt = TmRuntime::builder()
+        .backend(BackendKind::Swiss)
+        .scheduler_arc(shrink.clone())
+        .build();
+
+    // A tiny bank: ten accounts, four threads shuffling money around.
+    let accounts: Arc<Vec<TVar<i64>>> = Arc::new((0..10).map(|_| TVar::new(100)).collect());
+
+    let handles: Vec<_> = (0..4)
+        .map(|worker| {
+            let rt = rt.clone();
+            let accounts = Arc::clone(&accounts);
+            std::thread::spawn(move || {
+                let mut seed: u64 = worker + 1;
+                for _ in 0..2_000 {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let from = (seed >> 33) as usize % accounts.len();
+                    let to = (seed >> 17) as usize % accounts.len();
+                    if from == to {
+                        continue;
+                    }
+                    // The whole transfer is one atomic transaction; `?`
+                    // propagates aborts to the retry loop.
+                    rt.run(|tx| {
+                        let a = tx.read(&accounts[from])?;
+                        if a < 1 {
+                            return Ok(()); // insufficient funds; commit empty
+                        }
+                        let b = tx.read(&accounts[to])?;
+                        tx.write(&accounts[from], a - 1)?;
+                        tx.write(&accounts[to], b + 1)
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    let total: i64 = accounts.iter().map(|a| a.snapshot()).sum();
+    let stats = rt.stats();
+    println!("final balance total: {total} (expected 1000)");
+    println!("transactions: {stats}");
+    println!("shrink prediction stats: {:?}", shrink.prediction_stats());
+    assert_eq!(total, 1000, "money must be conserved");
+}

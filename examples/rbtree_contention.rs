@@ -1,0 +1,53 @@
+//! Compare every scheduler on the red-black-tree microbenchmark.
+//!
+//! Mirrors the paper's Figure 7/11 setting at a demo scale: a shared
+//! 16384-key tree under a 70 % update mix, measured at a few thread
+//! counts per scheduler.
+//!
+//! Run with: `cargo run --release --example rbtree_contention`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use shrink::prelude::*;
+use shrink::workloads::harness::{run_throughput, RunConfig};
+use shrink::workloads::RbTreeWorkload;
+
+fn main() {
+    let schedulers = [
+        SchedulerKind::Noop,
+        SchedulerKind::shrink_default(),
+        SchedulerKind::ats_default(),
+        SchedulerKind::Pool,
+    ];
+    let threads = [1usize, 4, 16];
+
+    println!(
+        "{:>12} {:>8} {:>14} {:>12}",
+        "scheduler", "threads", "commits/s", "aborts/commit"
+    );
+    for kind in &schedulers {
+        for &t in &threads {
+            let rt = TmRuntime::builder()
+                .backend(BackendKind::Swiss)
+                .scheduler_arc(kind.build())
+                .build();
+            let workload: Arc<dyn TxWorkload> = Arc::new(RbTreeWorkload::new(&rt, 16384, 70));
+            let outcome = run_throughput(
+                &rt,
+                &workload,
+                &RunConfig::new(t, Duration::from_millis(200)),
+            );
+            println!(
+                "{:>12} {:>8} {:>14.0} {:>12.3}",
+                kind.label(),
+                t,
+                outcome.throughput(),
+                outcome.abort_ratio()
+            );
+            workload
+                .verify(&rt)
+                .expect("red-black invariants must hold after the run");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The theory of Section 2, live: competitive ratios of Serializer, ATS,
+//! Restart and Inaccurate on the paper's lower-bound families.
+//!
+//! Run with: `cargo run --release --example theory_bounds`
+
+use shrink::theory::{
+    ats_makespan, head_to_head, inaccurate_makespan, restart_makespan, scenarios,
+    serializer_makespan,
+};
+
+fn main() {
+    println!("Figure 2(a) star family (OPT = 2):");
+    println!(
+        "{:>6} {:>12} {:>10} {:>8}",
+        "n", "serializer", "restart", "ratio"
+    );
+    for n in [4, 8, 16, 32, 64] {
+        let inst = scenarios::serializer_star(n);
+        let ser = serializer_makespan(&inst);
+        let res = restart_makespan(&inst);
+        println!(
+            "{n:>6} {:>12} {:>10} {:>8.1}",
+            ser.makespan,
+            res.makespan,
+            ser.makespan as f64 / 2.0
+        );
+    }
+
+    println!();
+    println!("Figure 2(b) hub family with k = 4 (OPT = 5):");
+    println!("{:>6} {:>12} {:>10}", "n", "ats", "restart");
+    for n in [4, 8, 16, 32, 64] {
+        let inst = scenarios::ats_hub(n, 4);
+        println!(
+            "{n:>6} {:>12} {:>10}",
+            ats_makespan(&inst, 4).makespan,
+            restart_makespan(&inst).makespan
+        );
+    }
+
+    println!();
+    println!("Theorem 3: a slightly wrong prediction ruins Restart (OPT = 1):");
+    for n in [4, 16, 64] {
+        let inst = scenarios::independent_unit(n);
+        let belief = scenarios::inaccurate_belief(n);
+        println!(
+            "  n = {n:>3}: inaccurate makespan = {}",
+            inaccurate_makespan(&inst, &belief).makespan
+        );
+    }
+
+    println!();
+    println!("Head-to-head on one random instance (12 jobs, density 3/8):");
+    let inst = scenarios::random_instance(12, 4, 96, 2026);
+    for (name, point) in head_to_head(&inst, 3) {
+        println!("  {name:>10}: {point}");
+    }
+}

@@ -1,0 +1,40 @@
+//! The STAMP `vacation` workload as an application demo: a travel agency
+//! booking cars, flights and rooms against a transactional database, with
+//! the billing invariant audited at the end.
+//!
+//! Run with: `cargo run --release --example vacation_booking`
+
+use std::sync::Arc;
+
+use shrink::prelude::*;
+use shrink::workloads::harness::run_fixed_steps;
+use shrink::workloads::stamp::{Vacation, VacationConfig};
+
+fn main() {
+    let shrink = Arc::new(Shrink::new(ShrinkConfig::default()));
+    let rt = TmRuntime::builder()
+        .backend(BackendKind::Swiss)
+        .scheduler_arc(shrink.clone())
+        .build();
+
+    let agency = Arc::new(Vacation::new(
+        &rt,
+        VacationConfig::high_contention(),
+        "vacation-high",
+    ));
+
+    // Eight concurrent booking clerks, 500 client requests each.
+    let workload: Arc<dyn TxWorkload> = agency.clone();
+    run_fixed_steps(&rt, &workload, 8, 500, 0xB00C);
+
+    let stats = rt.stats();
+    println!("database after 4000 client requests:");
+    println!("  {stats}");
+    println!("  total billed: {}", agency.total_billed(&rt));
+    println!("  shrink: {:?}", shrink.prediction_stats());
+
+    agency
+        .verify(&rt)
+        .expect("reservations and billing must reconcile");
+    println!("  billing audit: OK (bills match reservations exactly)");
+}

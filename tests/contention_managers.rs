@@ -1,0 +1,155 @@
+//! Contention-manager matrix: the classic CM policies the paper contrasts
+//! schedulers with (Suicide, Polite, Karma, SwissTM's TwoPhase) must all
+//! preserve serializability and make progress.
+
+use std::sync::Arc;
+
+use shrink::prelude::*;
+use shrink::stm::CmPolicy;
+
+fn hammer_one_hot_variable(policy: CmPolicy) -> (u64, u64) {
+    const THREADS: usize = 4;
+    const INCREMENTS: usize = 300;
+    let rt = TmRuntime::builder()
+        .backend(BackendKind::Swiss)
+        .cm_policy(policy)
+        .build();
+    let hot = TVar::new(0u64);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let rt = rt.clone();
+            let hot = hot.clone();
+            std::thread::spawn(move || {
+                for _ in 0..INCREMENTS {
+                    rt.run(|tx| {
+                        let v = tx.read(&hot)?;
+                        // Widen the conflict window.
+                        for _ in 0..50 {
+                            std::hint::spin_loop();
+                        }
+                        tx.write(&hot, v + 1)
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = rt.stats();
+    assert_eq!(
+        hot.snapshot(),
+        (THREADS * INCREMENTS) as u64,
+        "{policy}: lost updates"
+    );
+    (stats.commits, stats.aborts)
+}
+
+#[test]
+fn two_phase_cm_is_serializable_under_contention() {
+    let (commits, _) = hammer_one_hot_variable(CmPolicy::TwoPhase);
+    assert_eq!(commits, 1200);
+}
+
+#[test]
+fn suicide_cm_is_serializable_under_contention() {
+    let (commits, _) = hammer_one_hot_variable(CmPolicy::Suicide);
+    assert_eq!(commits, 1200);
+}
+
+#[test]
+fn polite_cm_is_serializable_under_contention() {
+    let (commits, _) = hammer_one_hot_variable(CmPolicy::Polite);
+    assert_eq!(commits, 1200);
+}
+
+#[test]
+fn karma_cm_is_serializable_under_contention() {
+    let (commits, _) = hammer_one_hot_variable(CmPolicy::Karma);
+    assert_eq!(commits, 1200);
+}
+
+#[test]
+fn karma_kills_the_lighter_transaction() {
+    // A heavyweight transaction (many accesses) must be able to take a
+    // stripe from a lightweight holder under Karma.
+    let rt = TmRuntime::builder()
+        .backend(BackendKind::Swiss)
+        .cm_policy(CmPolicy::Karma)
+        .build();
+    let contended = TVar::new(0u64);
+    let ballast: Arc<Vec<TVar<u64>>> = Arc::new((0..128).map(|_| TVar::new(1)).collect());
+
+    // Light holder: acquires the stripe and then dawdles.
+    let light = {
+        let rt = rt.clone();
+        let contended = contended.clone();
+        std::thread::spawn(move || {
+            rt.run(|tx| {
+                tx.write(&contended, 1)?;
+                for _ in 0..200_000 {
+                    std::hint::spin_loop();
+                }
+                Ok(())
+            });
+        })
+    };
+    // Heavy contender: does lots of reads first, then wants the stripe.
+    let heavy = {
+        let rt = rt.clone();
+        let contended = contended.clone();
+        let ballast = Arc::clone(&ballast);
+        std::thread::spawn(move || {
+            rt.run(|tx| {
+                let mut sum = 0;
+                for v in ballast.iter() {
+                    sum += tx.read(v)?;
+                }
+                tx.write(&contended, sum)
+            });
+        })
+    };
+    light.join().unwrap();
+    heavy.join().unwrap();
+    // Both eventually commit (order unspecified); the last writer's value
+    // stands and nothing deadlocks.
+    let v = contended.snapshot();
+    assert!(v == 1 || v == 128, "unexpected final value {v}");
+    assert_eq!(rt.stats().commits, 2);
+}
+
+#[test]
+fn cm_policies_conserve_money_on_tiny_backend_too() {
+    for policy in [CmPolicy::Suicide, CmPolicy::Polite, CmPolicy::Karma] {
+        let rt = TmRuntime::builder()
+            .backend(BackendKind::Tiny)
+            .cm_policy(policy)
+            .build();
+        let a = TVar::new(100i64);
+        let b = TVar::new(100i64);
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let rt = rt.clone();
+                let (a, b) = (a.clone(), b.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        rt.run(|tx| {
+                            let x = tx.read(&a)?;
+                            let y = tx.read(&b)?;
+                            tx.write(&a, x - 1)?;
+                            tx.write(&b, y + 1)
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            a.snapshot() + b.snapshot(),
+            200,
+            "{policy}: conservation violated"
+        );
+    }
+}

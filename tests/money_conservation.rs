@@ -1,0 +1,96 @@
+//! Serializability stress: concurrent bank transfers must conserve the
+//! total across every backend × waiting-policy × scheduler combination.
+
+use std::sync::Arc;
+
+use shrink::prelude::*;
+
+fn transfer_matrix_cell(backend: BackendKind, wait: WaitPolicy, kind: &SchedulerKind) {
+    const ACCOUNTS: usize = 12;
+    const THREADS: usize = 4;
+    const TRANSFERS: usize = 400;
+    let rt = TmRuntime::builder()
+        .backend(backend)
+        .wait_policy(wait)
+        .scheduler_arc(kind.build())
+        .build();
+    let accounts: Arc<Vec<TVar<i64>>> = Arc::new((0..ACCOUNTS).map(|_| TVar::new(500)).collect());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let rt = rt.clone();
+            let accounts = Arc::clone(&accounts);
+            std::thread::spawn(move || {
+                let mut seed = 0x9E37 + t as u64;
+                for _ in 0..TRANSFERS {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let from = (seed >> 33) as usize % ACCOUNTS;
+                    let to = (seed >> 13) as usize % ACCOUNTS;
+                    if from == to {
+                        continue;
+                    }
+                    let amount = (seed % 7) as i64;
+                    rt.run(|tx| {
+                        let a = tx.read(&accounts[from])?;
+                        let b = tx.read(&accounts[to])?;
+                        tx.write(&accounts[from], a - amount)?;
+                        tx.write(&accounts[to], b + amount)
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total: i64 = accounts.iter().map(|a| a.snapshot()).sum();
+    assert_eq!(
+        total,
+        ACCOUNTS as i64 * 500,
+        "conservation violated: backend={backend:?} wait={wait:?} scheduler={}",
+        kind.label()
+    );
+    let stats = rt.stats();
+    assert_eq!(
+        stats.commits as usize % 1,
+        0,
+        "stats must be readable: {stats}"
+    );
+}
+
+fn scheduler_kinds() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Noop,
+        SchedulerKind::shrink_default(),
+        SchedulerKind::ats_default(),
+        SchedulerKind::Pool,
+        SchedulerKind::Serializer(shrink::sched::SerializerConfig::default()),
+    ]
+}
+
+#[test]
+fn swiss_preemptive_conserves_money_under_all_schedulers() {
+    for kind in scheduler_kinds() {
+        transfer_matrix_cell(BackendKind::Swiss, WaitPolicy::Preemptive, &kind);
+    }
+}
+
+#[test]
+fn swiss_busy_conserves_money_under_all_schedulers() {
+    for kind in scheduler_kinds() {
+        transfer_matrix_cell(BackendKind::Swiss, WaitPolicy::Busy, &kind);
+    }
+}
+
+#[test]
+fn tiny_preemptive_conserves_money_under_all_schedulers() {
+    for kind in scheduler_kinds() {
+        transfer_matrix_cell(BackendKind::Tiny, WaitPolicy::Preemptive, &kind);
+    }
+}
+
+#[test]
+fn tiny_busy_conserves_money_under_all_schedulers() {
+    for kind in scheduler_kinds() {
+        transfer_matrix_cell(BackendKind::Tiny, WaitPolicy::Busy, &kind);
+    }
+}

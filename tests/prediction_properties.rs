@@ -1,0 +1,117 @@
+//! Property-based tests for the prediction machinery and core data
+//! structures: Bloom filters, the success-rate recurrence and the
+//! transactional red-black tree against a model.
+
+use proptest::prelude::*;
+
+use shrink::prelude::*;
+use shrink::sched::BloomFilter;
+use shrink::stm::VarId;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bloom filters never report false negatives, regardless of geometry.
+    #[test]
+    fn bloom_has_no_false_negatives(
+        bits in 64usize..4096,
+        probes in 1u32..5,
+        elements in proptest::collection::vec(any::<u64>(), 0..200)
+    ) {
+        let mut bf = BloomFilter::with_bits(bits, probes);
+        for &e in &elements {
+            bf.insert(VarId::from_u64(e));
+        }
+        for &e in &elements {
+            prop_assert!(bf.contains(VarId::from_u64(e)));
+        }
+    }
+
+    /// `insert_if_absent` agrees with `contains` before the insertion.
+    #[test]
+    fn insert_if_absent_is_test_and_set(
+        elements in proptest::collection::vec(0u64..500, 1..300)
+    ) {
+        let mut bf = BloomFilter::with_bits(8192, 2);
+        for &e in &elements {
+            let var = VarId::from_u64(e);
+            let was_absent = !bf.contains(var);
+            prop_assert_eq!(bf.insert_if_absent(var), was_absent);
+            prop_assert!(bf.contains(var));
+        }
+    }
+
+    /// The success-rate recurrence stays in [0, 1] and crosses the
+    /// activation threshold only after enough aborts.
+    #[test]
+    fn success_rate_stays_bounded(outcomes in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut rate = 1.0f64;
+        for &committed in &outcomes {
+            rate = if committed { (rate + 1.0) / 2.0 } else { rate / 2.0 };
+            prop_assert!((0.0..=1.0).contains(&rate), "rate escaped: {rate}");
+        }
+        // A long streak of commits always recovers above threshold.
+        for _ in 0..10 {
+            rate = (rate + 1.0) / 2.0;
+        }
+        prop_assert!(rate > 0.5);
+    }
+
+    /// The transactional red-black tree stays equivalent to a BTreeMap
+    /// model under arbitrary single-threaded operation sequences, and its
+    /// structural invariants hold throughout.
+    #[test]
+    fn rbtree_matches_model(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..120)) {
+        let rt = TmRuntime::new();
+        let tree = TxRbTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (i, &(op, key)) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let mine = rt.run(|tx| tree.insert(tx, key, key * 3));
+                    prop_assert_eq!(mine, model.insert(key, key * 3));
+                }
+                1 => {
+                    let mine = rt.run(|tx| tree.remove(tx, key));
+                    prop_assert_eq!(mine, model.remove(&key));
+                }
+                _ => {
+                    let mine = rt.run(|tx| tree.get(tx, key));
+                    prop_assert_eq!(mine, model.get(&key).copied());
+                }
+            }
+            if i % 16 == 0 {
+                let count = rt
+                    .run(|tx| tree.check_invariants(tx))
+                    .map_err(|e| TestCaseError::fail(format!("invariant: {e}")))?;
+                prop_assert_eq!(count, model.len());
+            }
+        }
+        let keys = rt.run(|tx| tree.keys(tx));
+        let expected: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(keys, expected);
+    }
+
+    /// Transactions are all-or-nothing: a user restart rolls every write
+    /// back.
+    #[test]
+    fn aborted_writes_never_leak(values in proptest::collection::vec(any::<u64>(), 1..20)) {
+        let rt = TmRuntime::new();
+        let vars: Vec<TVar<u64>> = values.iter().map(|&v| TVar::new(v)).collect();
+        let mut first = true;
+        rt.run(|tx| {
+            if first {
+                first = false;
+                for var in &vars {
+                    tx.write(var, 0xDEAD)?;
+                }
+                return tx.restart();
+            }
+            Ok(())
+        });
+        for (var, &original) in vars.iter().zip(&values) {
+            prop_assert_eq!(var.snapshot(), original);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The scheduler hook contract: every attempt is bracketed by
+//! `before_start` and exactly one of `on_commit`/`on_abort`, reads and
+//! writes are reported, and the access sets handed to the completion hooks
+//! match what the transaction did.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrink::prelude::*;
+use shrink::stm::{SchedCtx, VarId};
+
+#[derive(Debug, Default)]
+struct RecordingScheduler {
+    starts: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    /// Depth check: +1 on start, −1 on completion; must never exceed the
+    /// number of threads or go negative.
+    in_flight: AtomicU64,
+    last_commit_sets: Mutex<(Vec<VarId>, Vec<VarId>)>,
+}
+
+impl TxScheduler for RecordingScheduler {
+    fn before_start(&self, _ctx: &SchedCtx<'_>) {
+        self.starts.fetch_add(1, Ordering::SeqCst);
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_read(&self, _ctx: &SchedCtx<'_>, _var: VarId) {
+        self.reads.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_write(&self, _ctx: &SchedCtx<'_>, _var: VarId) {
+        self.writes.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_commit(&self, _ctx: &SchedCtx<'_>, reads: &[VarId], writes: &[VarId]) {
+        self.commits.fetch_add(1, Ordering::SeqCst);
+        let prev = self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        assert!(prev > 0, "on_commit without matching before_start");
+        *self.last_commit_sets.lock() = (reads.to_vec(), writes.to_vec());
+    }
+
+    fn on_abort(&self, _ctx: &SchedCtx<'_>, _abort: &Abort, _reads: &[VarId], _writes: &[VarId]) {
+        self.aborts.fetch_add(1, Ordering::SeqCst);
+        let prev = self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        assert!(prev > 0, "on_abort without matching before_start");
+    }
+
+    fn name(&self) -> &str {
+        "recording"
+    }
+}
+
+#[test]
+fn hooks_bracket_every_attempt() {
+    let recorder = Arc::new(RecordingScheduler::default());
+    let rt = TmRuntime::builder().scheduler_arc(recorder.clone()).build();
+    let v = TVar::new(0u64);
+
+    // One clean commit.
+    rt.run(|tx| tx.modify(&v, |x| x + 1));
+    // One user restart (one abort + one commit).
+    let mut first = true;
+    rt.run(|tx| {
+        if first {
+            first = false;
+            return tx.restart();
+        }
+        tx.read(&v).map(|_| ())
+    });
+
+    assert_eq!(recorder.starts.load(Ordering::SeqCst), 3);
+    assert_eq!(recorder.commits.load(Ordering::SeqCst), 2);
+    assert_eq!(recorder.aborts.load(Ordering::SeqCst), 1);
+    assert_eq!(recorder.in_flight.load(Ordering::SeqCst), 0);
+    // Runtime statistics agree with the hooks.
+    let stats = rt.stats();
+    assert_eq!(stats.commits, 2);
+    assert_eq!(stats.aborts, 1);
+}
+
+#[test]
+fn completion_hooks_see_the_access_sets() {
+    let recorder = Arc::new(RecordingScheduler::default());
+    let rt = TmRuntime::builder().scheduler_arc(recorder.clone()).build();
+    let a = TVar::new(1u64);
+    let b = TVar::new(2u64);
+    rt.run(|tx| {
+        let x = tx.read(&a)?;
+        tx.write(&b, x + 1)
+    });
+    let (reads, writes) = recorder.last_commit_sets.lock().clone();
+    assert_eq!(reads, vec![a.id()], "read set must list the read variable");
+    assert_eq!(
+        writes,
+        vec![b.id()],
+        "write set must list the written variable"
+    );
+}
+
+#[test]
+fn hook_counts_match_under_concurrency() {
+    let recorder = Arc::new(RecordingScheduler::default());
+    let rt = TmRuntime::builder().scheduler_arc(recorder.clone()).build();
+    let v = TVar::new(0u64);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let rt = rt.clone();
+            let v = v.clone();
+            std::thread::spawn(move || {
+                for _ in 0..250 {
+                    rt.run(|tx| tx.modify(&v, |x| x + 1));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(v.snapshot(), 1000);
+    let starts = recorder.starts.load(Ordering::SeqCst);
+    let commits = recorder.commits.load(Ordering::SeqCst);
+    let aborts = recorder.aborts.load(Ordering::SeqCst);
+    assert_eq!(commits, 1000);
+    assert_eq!(
+        starts,
+        commits + aborts,
+        "every start completes exactly once"
+    );
+    assert_eq!(recorder.in_flight.load(Ordering::SeqCst), 0);
+}

@@ -1,0 +1,95 @@
+//! Opacity stress: transactions must never observe a torn snapshot, even
+//! transiently, under either backend.
+//!
+//! A writer repeatedly updates a group of variables to a common value in
+//! one transaction; readers assert inside their own transactions that all
+//! members are equal. TL2-style incremental validation (with timestamp
+//! extension) must make the assertion unfailable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use shrink::prelude::*;
+
+fn snapshot_stress(backend: BackendKind, wait: WaitPolicy, kind: SchedulerKind) {
+    const VARS: usize = 16;
+    const WRITER_ROUNDS: u64 = 400;
+    let rt = TmRuntime::builder()
+        .backend(backend)
+        .wait_policy(wait)
+        .scheduler_arc(kind.build())
+        .build();
+    let vars: Arc<Vec<TVar<u64>>> = Arc::new((0..VARS).map(|_| TVar::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let rt = rt.clone();
+            let vars = Arc::clone(&vars);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observations = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let values: Vec<u64> = rt.run(|tx| {
+                        let mut out = Vec::with_capacity(VARS);
+                        for v in vars.iter() {
+                            out.push(tx.read(v)?);
+                        }
+                        Ok(out)
+                    });
+                    assert!(
+                        values.windows(2).all(|w| w[0] == w[1]),
+                        "torn snapshot observed: {values:?}"
+                    );
+                    observations += 1;
+                }
+                observations
+            })
+        })
+        .collect();
+
+    for round in 1..=WRITER_ROUNDS {
+        rt.run(|tx| {
+            for v in vars.iter() {
+                tx.write(v, round)?;
+            }
+            Ok(())
+        });
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total > 0, "readers must have observed snapshots");
+    assert!(vars.iter().all(|v| v.snapshot() == WRITER_ROUNDS));
+}
+
+#[test]
+fn swiss_backend_never_shows_torn_snapshots() {
+    snapshot_stress(
+        BackendKind::Swiss,
+        WaitPolicy::Preemptive,
+        SchedulerKind::Noop,
+    );
+}
+
+#[test]
+fn tiny_backend_never_shows_torn_snapshots() {
+    snapshot_stress(
+        BackendKind::Tiny,
+        WaitPolicy::Preemptive,
+        SchedulerKind::Noop,
+    );
+}
+
+#[test]
+fn shrink_scheduler_preserves_opacity() {
+    snapshot_stress(
+        BackendKind::Swiss,
+        WaitPolicy::Preemptive,
+        SchedulerKind::shrink_default(),
+    );
+}
+
+#[test]
+fn busy_waiting_preserves_opacity() {
+    snapshot_stress(BackendKind::Tiny, WaitPolicy::Busy, SchedulerKind::Noop);
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the Section-2 theory: soundness of the bounds
+//! and the theorems' envelopes on randomized instances.
+
+use proptest::prelude::*;
+
+use shrink::theory::{
+    ats_makespan, batch_optimal, greedy_makespan, opt_lower_bound, restart_makespan,
+    serializer_makespan, ConflictGraph, Instance, Job, JobId,
+};
+
+/// Strategy: a small instance with random execution times, releases and
+/// conflict edges.
+fn small_instance(max_jobs: usize, with_releases: bool) -> impl Strategy<Value = Instance> {
+    (2..=max_jobs).prop_flat_map(move |n| {
+        let jobs =
+            proptest::collection::vec((if with_releases { 0u64..6 } else { 0u64..1 }, 1u64..5), n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2));
+        (jobs, edges).prop_map(move |(jobs, edges)| {
+            let jobs: Vec<Job> = jobs
+                .into_iter()
+                .map(|(release, exec)| Job::new(release, exec))
+                .collect();
+            let mut graph = ConflictGraph::new(jobs.len());
+            for (a, b) in edges {
+                if a != b {
+                    graph.add_conflict(a, b);
+                }
+            }
+            Instance::new(jobs, graph)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every simulated scheduler produces a makespan at least the certified
+    /// lower bound on OPT.
+    #[test]
+    fn all_schedulers_respect_the_lower_bound(inst in small_instance(10, true)) {
+        let lb = opt_lower_bound(&inst);
+        prop_assert!(greedy_makespan(&inst).makespan >= lb);
+        prop_assert!(restart_makespan(&inst).makespan >= lb);
+        prop_assert!(serializer_makespan(&inst).makespan >= lb);
+        prop_assert!(ats_makespan(&inst, 2).makespan >= lb);
+    }
+
+    /// Theorem 2's envelope: Restart finishes within R_max plus the optimal
+    /// batch makespan of the whole job set.
+    #[test]
+    fn restart_is_within_rmax_plus_opt(inst in small_instance(10, true)) {
+        let ids: Vec<JobId> = inst.ids().collect();
+        let batch_opt = batch_optimal(&ids, &inst).makespan;
+        let restart = restart_makespan(&inst).makespan;
+        prop_assert!(
+            restart <= inst.max_release() + batch_opt,
+            "restart {restart} > Rmax {} + OPT {batch_opt}",
+            inst.max_release()
+        );
+    }
+
+    /// With simultaneous release, Restart equals the exact batch optimum
+    /// (it simply executes that plan).
+    #[test]
+    fn restart_matches_batch_opt_without_releases(inst in small_instance(10, false)) {
+        let ids: Vec<JobId> = inst.ids().collect();
+        let batch_opt = batch_optimal(&ids, &inst).makespan;
+        prop_assert_eq!(restart_makespan(&inst).makespan, batch_opt);
+    }
+
+    /// The exact solver never does worse than the greedy packer, and both
+    /// schedule every job exactly once.
+    #[test]
+    fn exact_batch_beats_greedy_batch(inst in small_instance(10, false)) {
+        let ids: Vec<JobId> = inst.ids().collect();
+        let exact = batch_optimal(&ids, &inst);
+        let greedy = shrink::theory::opt::batch_greedy(&ids, &inst);
+        prop_assert!(exact.makespan <= greedy.makespan);
+        let mut exact_jobs: Vec<JobId> = exact.waves.iter().flatten().copied().collect();
+        exact_jobs.sort_unstable();
+        prop_assert_eq!(exact_jobs, ids.clone());
+        let mut greedy_jobs: Vec<JobId> = greedy.waves.iter().flatten().copied().collect();
+        greedy_jobs.sort_unstable();
+        prop_assert_eq!(greedy_jobs, ids);
+    }
+
+    /// Simulators are deterministic.
+    #[test]
+    fn simulators_are_deterministic(inst in small_instance(8, true)) {
+        prop_assert_eq!(serializer_makespan(&inst), serializer_makespan(&inst));
+        prop_assert_eq!(ats_makespan(&inst, 3), ats_makespan(&inst, 3));
+        prop_assert_eq!(restart_makespan(&inst), restart_makespan(&inst));
+        prop_assert_eq!(greedy_makespan(&inst), greedy_makespan(&inst));
+    }
+
+    /// Without conflicts, every scheduler achieves the trivial optimum.
+    #[test]
+    fn conflict_free_instances_run_fully_parallel(
+        execs in proptest::collection::vec(1u64..6, 1..8)
+    ) {
+        let jobs: Vec<Job> = execs.iter().map(|&e| Job::new(0, e)).collect();
+        let n = jobs.len();
+        let inst = Instance::new(jobs, ConflictGraph::new(n));
+        let opt = execs.iter().copied().max().unwrap();
+        prop_assert_eq!(greedy_makespan(&inst).makespan, opt);
+        prop_assert_eq!(restart_makespan(&inst).makespan, opt);
+        prop_assert_eq!(serializer_makespan(&inst).makespan, opt);
+        prop_assert_eq!(ats_makespan(&inst, 2).makespan, opt);
+    }
+}
