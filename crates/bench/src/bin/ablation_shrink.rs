@@ -4,16 +4,16 @@
 //! scheduler-sensitive configuration) in a heavily overloaded setting and
 //! compares:
 //!
-//! * `base`            — no scheduler;
-//! * `shrink`          — the full scheduler (paper defaults);
-//! * `literal-paper`   — affinity bias 0, the listing taken literally
-//!                       (cannot bootstrap; expected ≈ base);
-//! * `always-predict`  — affinity gate forced open (bias = modulus):
-//!                       serialization affinity ablated;
-//! * `no-write-pred`   — predicted write sets disabled (window of read
-//!                       prediction only, via `max_pred_set` for writes);
+//! * `base` — no scheduler;
+//! * `shrink` — the full scheduler (paper defaults);
+//! * `literal-paper` — affinity bias 0, the listing taken literally (cannot
+//!   bootstrap; expected ≈ base);
+//! * `always-predict` — affinity gate forced open (bias = modulus):
+//!   serialization affinity ablated;
+//! * `no-write-pred` — predicted write sets disabled (window of read
+//!   prediction only, via `max_pred_set` for writes);
 //! * `window-1`/`window-8` — locality window halved/doubled;
-//! * `pool`            — serialize on any contention (no prediction at all).
+//! * `pool` — serialize on any contention (no prediction at all).
 
 use std::sync::Arc;
 

@@ -202,10 +202,13 @@ pub struct Shrink {
     instance_id: u64,
 }
 
+/// One state-cache entry: (scheduler identity, thread id, shared state).
+type CachedState = (usize, u16, std::sync::Arc<Mutex<ThreadState>>);
+
 thread_local! {
     /// Per-OS-thread cache of `(scheduler identity, thread id) → state`,
     /// bypassing the slot registry's lock on the per-read hot path.
-    static STATE_CACHE: std::cell::RefCell<Vec<(usize, u16, std::sync::Arc<Mutex<ThreadState>>)>> =
+    static STATE_CACHE: std::cell::RefCell<Vec<CachedState>> =
         const { std::cell::RefCell::new(Vec::new()) };
 }
 

@@ -49,12 +49,12 @@ pub fn serializer_makespan(instance: &Instance) -> SimResult {
         }
 
         // 2. Completions at time t.
-        for core in 0..n {
-            if let Some(&head) = queues[core].front() {
+        for queue in queues.iter_mut() {
+            if let Some(&head) = queue.front() {
                 if progress[head] >= instance.job(head).exec {
                     finished[head] = true;
                     makespan = makespan.max(t);
-                    queues[core].pop_front();
+                    queue.pop_front();
                 }
             }
         }

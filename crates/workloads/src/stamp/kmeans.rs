@@ -136,8 +136,8 @@ impl TxWorkload for Kmeans {
         rt.run(|tx| -> TxResult<()> {
             for (cluster, p) in &assignments {
                 let mut acc = tx.read(&self.accumulators[*cluster])?;
-                for d in 0..DIM {
-                    acc.sum[d] += p[d];
+                for (s, v) in acc.sum.iter_mut().zip(p) {
+                    *s += v;
                 }
                 acc.count += 1;
                 tx.write(&self.accumulators[*cluster], acc)?;

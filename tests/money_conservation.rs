@@ -50,11 +50,7 @@ fn transfer_matrix_cell(backend: BackendKind, wait: WaitPolicy, kind: &Scheduler
         kind.label()
     );
     let stats = rt.stats();
-    assert_eq!(
-        stats.commits as usize % 1,
-        0,
-        "stats must be readable: {stats}"
-    );
+    assert!(stats.commits > 0, "stats must be readable: {stats}");
 }
 
 fn scheduler_kinds() -> Vec<SchedulerKind> {

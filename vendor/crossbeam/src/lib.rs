@@ -1,0 +1,230 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so this vendor
+//! crate provides the `crossbeam::epoch` API subset the workspace uses
+//! ([`epoch::pin`], [`epoch::Atomic`], [`epoch::Owned`], [`epoch::Shared`],
+//! `Guard::defer_destroy`), implemented with **reference counting** instead
+//! of epoch-based garbage collection: an [`epoch::Atomic`] holds an
+//! `Arc<T>` behind a readers-writer lock, a [`epoch::Shared`] owns a clone
+//! of that `Arc`, and "deferred destruction" is simply the drop of the last
+//! clone. That preserves the exact safety contract the call sites rely on —
+//! a value loaded under a pinned guard stays alive until the guard-scoped
+//! `Shared` goes away — at the cost of a lock/refcount per access rather
+//! than crossbeam's wait-free reads. Swap this directory for the real crate
+//! once the registry is reachable; call sites need no changes.
+
+#![warn(missing_docs)]
+
+/// Epoch-style memory reclamation, emulated with reference counting.
+pub mod epoch {
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::sync::atomic::Ordering;
+    use std::sync::{Arc, PoisonError, RwLock};
+
+    /// A pinned-participant token.
+    ///
+    /// In real crossbeam, pinning delays reclamation; here lifetimes tied to
+    /// the guard keep `Arc` clones alive, so the guard itself carries no
+    /// state.
+    #[derive(Debug)]
+    pub struct Guard {
+        _private: (),
+    }
+
+    /// Pins the current thread, returning a guard that scopes [`Shared`]
+    /// pointers.
+    pub fn pin() -> Guard {
+        Guard { _private: () }
+    }
+
+    impl Guard {
+        /// Schedules the pointee for destruction once unreachable.
+        ///
+        /// With the refcount emulation this just drops `shared`'s `Arc`
+        /// clone; the pointee dies when the last concurrent reader drops
+        /// its own clone.
+        ///
+        /// # Safety
+        ///
+        /// As in crossbeam: the caller must guarantee `shared` is no longer
+        /// reachable through any `Atomic` (e.g. it was just swapped out).
+        pub unsafe fn defer_destroy<T>(&self, shared: Shared<'_, T>) {
+            drop(shared);
+        }
+    }
+
+    /// An owned heap value about to be published into an [`Atomic`].
+    pub struct Owned<T> {
+        value: Arc<T>,
+    }
+
+    impl<T> Owned<T> {
+        /// Allocates `value`.
+        pub fn new(value: T) -> Self {
+            Owned {
+                value: Arc::new(value),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Owned<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("Owned").field(&self.value).finish()
+        }
+    }
+
+    /// A pointer loaded from an [`Atomic`], valid for the guard's lifetime.
+    ///
+    /// Owns an `Arc` clone, so the pointee cannot be freed while this value
+    /// lives — the refcount analogue of "pinned epoch".
+    pub struct Shared<'g, T> {
+        value: Option<Arc<T>>,
+        _guard: PhantomData<&'g Guard>,
+    }
+
+    impl<T> Shared<'_, T> {
+        /// The null pointer.
+        pub fn null() -> Self {
+            Shared {
+                value: None,
+                _guard: PhantomData,
+            }
+        }
+
+        /// Whether this is the null pointer.
+        pub fn is_null(&self) -> bool {
+            self.value.is_none()
+        }
+
+        /// Dereferences the pointer.
+        ///
+        /// # Safety
+        ///
+        /// As in crossbeam: the pointer must be non-null (here: non-null is
+        /// also checked, so misuse panics rather than exhibiting UB).
+        pub unsafe fn deref(&self) -> &T {
+            self.value.as_ref().expect("deref of null Shared")
+        }
+
+        /// Converts into an [`Owned`], taking over the allocation.
+        ///
+        /// # Safety
+        ///
+        /// As in crossbeam: the caller must be the sole owner; must be
+        /// non-null.
+        pub unsafe fn into_owned(self) -> Owned<T> {
+            Owned {
+                value: self.value.expect("into_owned of null Shared"),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Shared<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("Shared").field(&self.value).finish()
+        }
+    }
+
+    /// Pointer-like values that can be stored into an [`Atomic`].
+    pub trait Pointer<T> {
+        /// Consumes `self`, yielding the backing allocation (if non-null).
+        fn into_arc(self) -> Option<Arc<T>>;
+    }
+
+    impl<T> Pointer<T> for Owned<T> {
+        fn into_arc(self) -> Option<Arc<T>> {
+            Some(self.value)
+        }
+    }
+
+    impl<T> Pointer<T> for Shared<'_, T> {
+        fn into_arc(self) -> Option<Arc<T>> {
+            self.value
+        }
+    }
+
+    /// An atomic, possibly-null pointer to a heap value.
+    pub struct Atomic<T> {
+        slot: RwLock<Option<Arc<T>>>,
+    }
+
+    impl<T> Atomic<T> {
+        /// Allocates `value` and creates an atomic pointing at it.
+        pub fn new(value: T) -> Self {
+            Atomic {
+                slot: RwLock::new(Some(Arc::new(value))),
+            }
+        }
+
+        /// Loads the current pointer under `_guard`.
+        ///
+        /// The `Ordering` is accepted for API compatibility; the lock
+        /// provides (stronger) acquire/release semantics.
+        pub fn load<'g>(&self, _ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+            let slot = self.slot.read().unwrap_or_else(PoisonError::into_inner);
+            Shared {
+                value: slot.clone(),
+                _guard: PhantomData,
+            }
+        }
+
+        /// Swaps in `new`, returning the previous pointer.
+        pub fn swap<'g, P: Pointer<T>>(
+            &self,
+            new: P,
+            _ord: Ordering,
+            _guard: &'g Guard,
+        ) -> Shared<'g, T> {
+            let mut slot = self.slot.write().unwrap_or_else(PoisonError::into_inner);
+            let old = std::mem::replace(&mut *slot, new.into_arc());
+            Shared {
+                value: old,
+                _guard: PhantomData,
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Atomic<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Atomic { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn load_swap_round_trip() {
+            let a = Atomic::new(1u32);
+            let g = pin();
+            assert_eq!(unsafe { *a.load(Ordering::Acquire, &g).deref() }, 1);
+            let old = a.swap(Owned::new(2), Ordering::AcqRel, &g);
+            assert_eq!(unsafe { *old.deref() }, 1);
+            unsafe { g.defer_destroy(old) };
+            assert_eq!(unsafe { *a.load(Ordering::Acquire, &g).deref() }, 2);
+        }
+
+        #[test]
+        fn null_swap_empties_the_slot() {
+            let a = Atomic::new(5u32);
+            let g = pin();
+            let old = a.swap(Shared::null(), Ordering::AcqRel, &g);
+            assert!(!old.is_null());
+            unsafe { drop(old.into_owned()) };
+            assert!(a.load(Ordering::Acquire, &g).is_null());
+        }
+
+        #[test]
+        fn loaded_value_survives_replacement() {
+            let a = Atomic::new(String::from("alive"));
+            let g = pin();
+            let s = a.load(Ordering::Acquire, &g);
+            let old = a.swap(Owned::new(String::from("new")), Ordering::AcqRel, &g);
+            unsafe { g.defer_destroy(old) };
+            // `s` still owns a refcount: reading through it is safe.
+            assert_eq!(unsafe { s.deref() }, "alive");
+        }
+    }
+}

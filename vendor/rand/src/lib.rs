@@ -1,0 +1,279 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this vendor
+//! crate re-implements exactly the 0.9-style `rand` API subset the workspace
+//! uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng::random`], [`Rng::random_range`], [`Rng::random_bool`].
+//!
+//! The generator is *not* cryptographically secure and the in-range sampling
+//! uses plain modulo reduction (bias ≤ span/2⁶⁴, irrelevant for benchmarks
+//! and property tests). Swap this directory for the real crate once the
+//! registry is reachable; call sites need no changes.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    /// The standard deterministic generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// A generator seedable from a `u64` (SplitMix64 expansion, as real `rand`).
+pub trait SeedableRng: Sized {
+    /// Derives a full seed from `state` and constructs the generator.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 to fill the xoshiro state, as recommended by the
+        // xoshiro authors and done by rand_core.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    #[inline]
+    fn next_u64_impl(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types that can be sampled uniformly from the generator's full output
+/// (the analogue of rand's `StandardUniform` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample(rng: &mut StdRng) -> $t {
+                rng.next_u64_impl() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 random bits in [0, 1).
+        (rng.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> f32 {
+        (rng.next_u64_impl() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types with a uniform in-range sampler (the analogue of rand's
+/// `SampleUniform`).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws uniformly from `[low, high)`, or `[low, high]` if `inclusive`.
+    fn sample_in(rng: &mut StdRng, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_in(rng: &mut StdRng, low: $t, high: $t, inclusive: bool) -> $t {
+                let span = (high as i128 - low as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "cannot sample empty range");
+                let v = rng.next_u64_impl() as u128 % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_in(rng: &mut StdRng, low: $t, high: $t, _inclusive: bool) -> $t {
+                assert!(low < high, "cannot sample empty range");
+                // `low + s*(high-low)` can round up to exactly `high` for s
+                // near 1; resample to keep the half-open contract (as real
+                // rand does). Terminates: s = 0 always yields `low < high`.
+                loop {
+                    let v = low + <$t as Standard>::sample(rng) * (high - low);
+                    if v < high {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges a value of type `T` can be drawn from.
+///
+/// Implemented generically over [`SampleUniform`] element types (as in real
+/// `rand`), which is what lets integer-literal ranges like `0..100` infer
+/// their type from the surrounding expression.
+pub trait SampleRange<T> {
+    /// Draws one value; panics on an empty range.
+    fn sample_single(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single(self, rng: &mut StdRng) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single(self, rng: &mut StdRng) -> T {
+        assert!(self.start() <= self.end(), "cannot sample empty range");
+        T::sample_in(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// The user-facing generator interface (rand 0.9 method names).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value of any [`Standard`]-samplable type.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized;
+
+    /// A uniform value in `range`. Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized;
+
+    /// `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::sample(self) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.random_range(0..=3);
+            assert!(w <= 3);
+            let f: f64 = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let s: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn float_range_excludes_upper_bound_even_when_tiny() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let high = 1.0 + 2.0 * f64::EPSILON;
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(1.0..high);
+            assert!(v < high, "sampled the exclusive upper bound: {v}");
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((1500..3500).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn full_width_values_vary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: u64 = rng.random();
+        let b: u64 = rng.random();
+        assert_ne!(a, b);
+    }
+}
