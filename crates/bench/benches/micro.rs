@@ -17,6 +17,92 @@ use shrink_workloads::rbtree::TxRbTree;
 use shrink_workloads::stmbench7::{Sb7Config, Sb7Mix, Sb7Workload};
 use shrink_workloads::TxWorkload;
 
+/// The raw `TVar` snapshot read path, isolated from transaction machinery:
+/// inline seqlock (small dropless payloads) vs. epoch-pinned boxed path,
+/// plus contended variants with a writer churning in the background. This
+/// is the surface the `vendor/crossbeam` epoch rewrite optimizes — compare
+/// against the orec-protocol costs in `stm/read_tx` to see how much of a
+/// transactional read is value access vs. validation.
+fn read_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_path");
+    group.sample_size(50);
+
+    // Inline seqlock path: no heap, no pin.
+    let inline_var = TVar::new(0u64);
+    assert!(inline_var.uses_inline_storage());
+    group.bench_function("snapshot/inline_u64", |b| {
+        b.iter(|| black_box(&inline_var).snapshot())
+    });
+    let wide_var = TVar::new([0u64; 4]);
+    assert!(wide_var.uses_inline_storage());
+    group.bench_function("snapshot/inline_4xu64", |b| {
+        b.iter(|| black_box(&wide_var).snapshot())
+    });
+
+    // Boxed path: epoch pin + atomic pointer load + clone.
+    let boxed_var = TVar::new(Arc::new(0u64));
+    assert!(!boxed_var.uses_inline_storage());
+    group.bench_function("snapshot/boxed_arc", |b| {
+        b.iter(|| black_box(&boxed_var).snapshot())
+    });
+
+    // Store side: seqlock publish vs. box + swap + retire.
+    group.bench_function("rt_write/inline_u64", |b| {
+        let rt = TmRuntime::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rt.run(|tx| tx.write(black_box(&inline_var), i))
+        })
+    });
+    group.bench_function("rt_write/boxed_arc", |b| {
+        let rt = TmRuntime::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rt.run(|tx| tx.write(black_box(&boxed_var), Arc::new(i)))
+        })
+    });
+
+    // Contended snapshot reads: a background writer churns the variable so
+    // readers cross live seqlock publishes / epoch retirements.
+    for label in ["inline", "boxed"] {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let inline_var = TVar::new(0u64);
+        let boxed_var = TVar::new(Arc::new(0u64));
+        let writer = {
+            let stop = Arc::clone(&stop);
+            let inline_var = inline_var.clone();
+            let boxed_var = boxed_var.clone();
+            let boxed = label == "boxed";
+            std::thread::spawn(move || {
+                let rt = TmRuntime::new();
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    i += 1;
+                    if boxed {
+                        rt.run(|tx| tx.write(&boxed_var, Arc::new(i)));
+                    } else {
+                        rt.run(|tx| tx.write(&inline_var, i));
+                    }
+                }
+            })
+        };
+        group.bench_function(format!("snapshot_contended/{label}"), |b| {
+            b.iter(|| {
+                if label == "boxed" {
+                    black_box(*boxed_var.snapshot());
+                } else {
+                    black_box(inline_var.snapshot());
+                }
+            })
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+    group.finish();
+}
+
 fn stm_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("stm");
     group.sample_size(30);
@@ -134,6 +220,7 @@ fn stmbench7_ops(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    read_path,
     stm_primitives,
     scheduler_overhead,
     bloom_prediction,

@@ -147,6 +147,36 @@ pub fn measure_cell(
     run_throughput(&rt, &workload, config)
 }
 
+/// Measures one cell `repeats` times (fresh runtime and workload each time)
+/// and returns the **median** throughput.
+///
+/// Quick-mode windows (0.1 s) over small thread sweeps sit close to the
+/// noise floor on small containers, which made single-shot qualitative
+/// shape checks flap between ok/DIFFERS run-to-run. The median over a few
+/// repeats stabilizes exactly those checks without lengthening the headline
+/// sweep — and unlike a mean it shrugs off the occasional pathological
+/// window an oversubscribed container produces.
+pub fn measure_cell_median(
+    backend: BackendKind,
+    wait: WaitPolicy,
+    kind: &SchedulerKind,
+    make_workload: impl Fn(&TmRuntime) -> Arc<dyn TxWorkload>,
+    config: &RunConfig,
+    repeats: usize,
+) -> f64 {
+    assert!(repeats > 0, "repeats must be positive");
+    let mut samples: Vec<f64> = (0..repeats)
+        .map(|_| measure_cell(backend, wait, kind, &make_workload, config).throughput())
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
 /// Prints one gnuplot-ready series header.
 pub fn print_header(figure: &str, columns: &[&str]) {
     println!("# {figure}");

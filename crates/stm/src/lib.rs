@@ -46,7 +46,9 @@
 //!      │   ├── ThreadRegistry       (ThreadCtx: kill flags, counters)
 //!      │   └── Arc<dyn TxScheduler> (policy hooks; NoopScheduler by default)
 //!      └── run(body) ──────────────► Tx (read/write/commit protocol)
-//! TVar<T> ── ValueCell<T>           (epoch-reclaimed value snapshots)
+//! TVar<T> ── ValueCell<T>           (lock-free snapshots: inline seqlock
+//!      │                             for small dropless types, epoch-
+//!      └── reclaimed box otherwise; see DESIGN.md §7)
 //! ```
 
 #![warn(missing_docs)]
@@ -70,7 +72,7 @@ pub mod visible;
 
 pub use config::{BackendKind, CmPolicy, TmConfig, WaitPolicy};
 pub use error::{Abort, AbortReason, TxResult};
-pub use runtime::{RetryLimitExceeded, TmBuilder, TmRuntime};
+pub use runtime::{quiesce, RetryLimitExceeded, TmBuilder, TmRuntime};
 pub use sched::{NoopScheduler, SchedCtx, TxScheduler};
 pub use stats::{ThreadStats, TmStats};
 pub use tarray::TArray;

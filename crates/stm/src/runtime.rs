@@ -355,6 +355,27 @@ impl Default for TmRuntime {
     }
 }
 
+/// Drains deferred epoch garbage at a quiescent point.
+///
+/// Boxed `TVar` values replaced at commit are not freed immediately — their
+/// destruction is deferred until every reader pinned at the time of
+/// replacement has moved on (see DESIGN.md §7). Reclamation normally runs
+/// piggybacked on the read path; call this from a thread that holds no
+/// transaction when you need the backlog drained *now* — after joining
+/// worker threads, between benchmark phases, or in tests asserting exact
+/// drop counts. The epoch collector is process-global, not per-runtime.
+///
+/// Each call seals the calling thread's deferral bag and attempts a bounded
+/// number of epoch advances; when no thread is pinned, everything retired
+/// before the call has been dropped by the time it returns.
+pub fn quiesce() {
+    // Two epoch advances make any previously sealed bag eligible; a few
+    // extra rounds cover bags sealed concurrently by exiting threads.
+    for _ in 0..4 {
+        crossbeam::epoch::flush();
+    }
+}
+
 impl fmt::Debug for TmRuntime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TmRuntime")

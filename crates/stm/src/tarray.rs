@@ -129,6 +129,19 @@ impl<T: TxValue> TArray<T> {
     pub fn snapshot(&self, index: usize) -> T {
         self.slots[index].snapshot()
     }
+
+    /// Non-transactional read of every slot in index order (latest committed
+    /// values; no cross-slot consistency — use [`TArray::read_all`] inside a
+    /// transaction for a consistent view). Each slot read is lock-free.
+    pub fn snapshot_all(&self) -> Vec<T> {
+        self.slots.iter().map(TVar::snapshot).collect()
+    }
+
+    /// True when the slots use the inline seqlock fast path (see
+    /// [`TVar::uses_inline_storage`]).
+    pub fn uses_inline_storage(&self) -> bool {
+        self.slots.first().is_none_or(TVar::uses_inline_storage)
+    }
 }
 
 impl<T> fmt::Debug for TArray<T> {
@@ -195,6 +208,16 @@ mod tests {
         for slot in 0..4 {
             assert_eq!(a.snapshot(slot), 500);
         }
+    }
+
+    #[test]
+    fn snapshot_all_reads_every_slot() {
+        let a = TArray::from_values([4u64, 5, 6]);
+        assert!(a.uses_inline_storage());
+        assert_eq!(a.snapshot_all(), vec![4, 5, 6]);
+        let empty: TArray<u64> = TArray::new(0, 0);
+        assert!(empty.snapshot_all().is_empty());
+        assert!(empty.uses_inline_storage());
     }
 
     #[test]

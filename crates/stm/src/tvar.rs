@@ -10,7 +10,8 @@ use crate::varid::VarId;
 ///
 /// Blanket-implemented; listed explicitly so the requirements show up in
 /// one place: values are cloned out on read, sent across threads by the
-/// commit protocol, and destroyed by a background epoch collector.
+/// commit protocol, and (on the boxed storage path) destroyed by deferred
+/// epoch reclamation, possibly on another thread.
 pub trait TxValue: Clone + Send + Sync + 'static {}
 
 impl<T: Clone + Send + Sync + 'static> TxValue for T {}
@@ -73,8 +74,19 @@ impl<T: TxValue> TVar<T> {
     /// This is atomic for the single variable but provides no consistency
     /// across variables; use a transaction for multi-variable reads. Intended
     /// for post-run verification and monitoring.
+    ///
+    /// The read is lock-free on both storage paths: a seqlock word copy for
+    /// small dropless types, an epoch-pinned atomic pointer load otherwise
+    /// (see DESIGN.md §7). No mutex or rwlock is acquired.
     pub fn snapshot(&self) -> T {
         self.inner.cell.load()
+    }
+
+    /// True when this variable's values live inline in the cell (seqlock
+    /// fast path: no heap indirection or epoch pin on reads). Diagnostic,
+    /// for tests and benchmarks asserting which read path a type takes.
+    pub fn uses_inline_storage(&self) -> bool {
+        self.inner.cell.is_inline()
     }
 }
 
@@ -130,6 +142,14 @@ mod tests {
     fn debug_shows_id() {
         let v = TVar::new(1u8);
         assert!(format!("{v:?}").starts_with("TVar(v"));
+    }
+
+    #[test]
+    fn storage_path_matches_payload_shape() {
+        assert!(TVar::new(0u64).uses_inline_storage());
+        assert!(TVar::new((1u64, 2u64)).uses_inline_storage());
+        assert!(!TVar::new(String::new()).uses_inline_storage());
+        assert!(!TVar::new(vec![0u8; 4]).uses_inline_storage());
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! * commit stamps a fresh clock value, validates the read log once more and
 //!   installs buffered values.
 //!
+//! Value snapshots (`ValueCell::load`) are lock-free on both storage paths
+//! (inline seqlock or epoch-pinned pointer load; see DESIGN.md §7), so the
+//! per-read cost on top of them is exactly the orec snapshot/validate pair
+//! below — the overhead budget the paper's ~13 % Shrink figure rides on.
+//!
 //! Backend differences (see [`BackendKind`]):
 //!
 //! * **Swiss** — readers read *through* a write lock until the owner begins
@@ -264,6 +269,7 @@ impl<'rt> Tx<'rt> {
         }
     }
 
+    #[inline]
     fn record_read(&mut self, orec: usize, version: u64, var: VarId) {
         self.read_log.push(ReadEntry { orec, version });
         self.read_vars.push(var);

@@ -5,6 +5,15 @@
 //! one transaction; readers assert inside their own transactions that all
 //! members are equal. TL2-style incremental validation (with timestamp
 //! extension) must make the assertion unfailable.
+//!
+//! Two tiers:
+//!
+//! * `snapshot_stress` — the original one-writer/three-reader shape;
+//! * `contended_snapshot_stress` — several *competing* writer threads (so
+//!   commit-time installs, aborts and orec hand-offs all race) against a
+//!   pool of readers, with every writer stamping its own tag so a torn
+//!   snapshot cannot hide behind coincidentally equal values. Set
+//!   `SHRINK_STRESS=1` to raise thread counts and rounds.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -62,6 +71,102 @@ fn snapshot_stress(backend: BackendKind, wait: WaitPolicy, kind: SchedulerKind) 
     assert!(vars.iter().all(|v| v.snapshot() == WRITER_ROUNDS));
 }
 
+/// Stress scaling: 1 in normal runs, larger under `SHRINK_STRESS=1`.
+fn stress_factor() -> u64 {
+    match std::env::var("SHRINK_STRESS") {
+        Ok(v) if !v.is_empty() && v != "0" => 4,
+        _ => 1,
+    }
+}
+
+/// The same opacity invariants under real multi-writer contention: W writer
+/// threads race to install their own tag across the whole group, so every
+/// commit-time install overlaps other writers' acquires, aborts and
+/// retries. Readers assert all-equal and additionally that the observed tag
+/// was actually produced by some writer round (values are
+/// `round * WRITERS + writer_id`, so tag consistency is checkable).
+fn contended_snapshot_stress(backend: BackendKind, wait: WaitPolicy, kind: SchedulerKind) {
+    const VARS: usize = 12;
+    let writers: u64 = 4 * stress_factor().min(2);
+    let readers: usize = (3 * stress_factor().min(2)) as usize;
+    let writer_rounds: u64 = 200 * stress_factor();
+
+    let rt = TmRuntime::builder()
+        .backend(backend)
+        .wait_policy(wait)
+        .scheduler_arc(kind.build())
+        .build();
+    let vars: Arc<Vec<TVar<u64>>> = Arc::new((0..VARS).map(|_| TVar::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let rt = rt.clone();
+            let vars = Arc::clone(&vars);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observations = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let values: Vec<u64> = rt.run(|tx| {
+                        let mut out = Vec::with_capacity(VARS);
+                        for v in vars.iter() {
+                            out.push(tx.read(v)?);
+                        }
+                        Ok(out)
+                    });
+                    assert!(
+                        values.windows(2).all(|w| w[0] == w[1]),
+                        "torn snapshot under contention: {values:?}"
+                    );
+                    observations += 1;
+                }
+                observations
+            })
+        })
+        .collect();
+
+    let writer_handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let rt = rt.clone();
+            let vars = Arc::clone(&vars);
+            std::thread::spawn(move || {
+                for round in 1..=writer_rounds {
+                    let tag = round * writers + w;
+                    rt.run(|tx| {
+                        for v in vars.iter() {
+                            tx.write(v, tag)?;
+                        }
+                        Ok(())
+                    });
+                }
+            })
+        })
+        .collect();
+
+    for h in writer_handles {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = reader_handles.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total > 0, "readers must have observed snapshots");
+
+    // The final group value is whichever writer's last round won, but it
+    // must be a tag some writer actually wrote in its final round.
+    let final_values = rt.run(|tx| {
+        let mut out = Vec::with_capacity(VARS);
+        for v in vars.iter() {
+            out.push(tx.read(v)?);
+        }
+        Ok(out)
+    });
+    assert!(final_values.windows(2).all(|w| w[0] == w[1]));
+    let tag = final_values[0];
+    assert!(
+        tag / writers >= 1 && tag / writers <= writer_rounds,
+        "final tag {tag} not produced by any writer round"
+    );
+}
+
 #[test]
 fn swiss_backend_never_shows_torn_snapshots() {
     snapshot_stress(
@@ -92,4 +197,31 @@ fn shrink_scheduler_preserves_opacity() {
 #[test]
 fn busy_waiting_preserves_opacity() {
     snapshot_stress(BackendKind::Tiny, WaitPolicy::Busy, SchedulerKind::Noop);
+}
+
+#[test]
+fn swiss_backend_survives_contended_writers() {
+    contended_snapshot_stress(
+        BackendKind::Swiss,
+        WaitPolicy::Preemptive,
+        SchedulerKind::Noop,
+    );
+}
+
+#[test]
+fn tiny_backend_survives_contended_writers() {
+    contended_snapshot_stress(
+        BackendKind::Tiny,
+        WaitPolicy::Preemptive,
+        SchedulerKind::Noop,
+    );
+}
+
+#[test]
+fn shrink_scheduler_survives_contended_writers() {
+    contended_snapshot_stress(
+        BackendKind::Swiss,
+        WaitPolicy::Preemptive,
+        SchedulerKind::shrink_default(),
+    );
 }

@@ -6,19 +6,27 @@
 //! bench_function, finish}`, [`Bencher::iter`], [`black_box`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros.
 //!
-//! Instead of criterion's statistical machinery it runs a short warm-up,
-//! then times a fixed wall-clock window and reports mean ns/iteration on
-//! stdout — enough to compare the workspace's constant factors run-to-run.
-//! Honours `--bench` and `--test` CLI flags (ignored and quick-exit
-//! respectively) so `cargo bench`/`cargo test` harness plumbing works.
-//! Swap this directory for the real crate once the registry is reachable;
-//! call sites need no changes.
+//! Instead of criterion's full statistical machinery it runs a short
+//! warm-up, then times the routine over **several independent measurement
+//! windows** and reports the min/median/max ns/iteration across windows —
+//! enough to attach run-to-run variance to the workspace's constant-factor
+//! comparisons (an old-vs-new claim should be judged on whether the
+//! *ranges* overlap, not on two single numbers). Honours `--bench` and
+//! `--test` CLI flags (ignored and quick-exit respectively) so
+//! `cargo bench`/`cargo test` harness plumbing works. Swap this directory
+//! for the real crate once the registry is reachable; call sites need no
+//! changes.
 
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Number of independent measurement windows per benchmark.
+const SAMPLE_WINDOWS: usize = 5;
+/// Length of each measurement window.
+const WINDOW: Duration = Duration::from_millis(60);
 
 /// Top-level benchmark driver.
 #[derive(Debug)]
@@ -63,7 +71,7 @@ pub struct BenchmarkGroup<'c> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Accepted for API compatibility; the stub's timing window is fixed.
+    /// Accepted for API compatibility; the stub's window count is fixed.
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }
@@ -85,15 +93,40 @@ impl BenchmarkGroup<'_> {
 fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, name: &str, mut f: F) {
     let mut b = Bencher {
         test_mode,
-        iters: 0,
-        elapsed: Duration::ZERO,
+        samples: Vec::new(),
     };
     f(&mut b);
     if test_mode {
         println!("{name}: ok (test mode)");
-    } else if b.iters > 0 {
-        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
-        println!("{name:<40} {ns:>12.1} ns/iter ({} iters)", b.iters);
+        return;
+    }
+    let mut per_window: Vec<f64> = b
+        .samples
+        .iter()
+        .filter(|(iters, _)| *iters > 0)
+        .map(|(iters, elapsed)| elapsed.as_nanos() as f64 / *iters as f64)
+        .collect();
+    if per_window.is_empty() {
+        return;
+    }
+    per_window.sort_by(|a, c| a.total_cmp(c));
+    let min = per_window[0];
+    let max = per_window[per_window.len() - 1];
+    let median = median_of_sorted(&per_window);
+    let total_iters: u64 = b.samples.iter().map(|(i, _)| i).sum();
+    println!(
+        "{name:<40} {median:>10.1} ns/iter (min {min:.1} / max {max:.1}, \
+         {} windows, {total_iters} iters)",
+        per_window.len()
+    );
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
     }
 }
 
@@ -101,17 +134,17 @@ fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, name: &str, mut f: F) {
 #[derive(Debug)]
 pub struct Bencher {
     test_mode: bool,
-    iters: u64,
-    elapsed: Duration,
+    /// One `(iterations, elapsed)` pair per measurement window.
+    samples: Vec<(u64, Duration)>,
 }
 
 impl Bencher {
-    /// Times `routine`: warm-up, then as many iterations as fit in a short
-    /// fixed window (~200 ms). In test mode runs the routine exactly once.
+    /// Times `routine`: a short warm-up, then [`SAMPLE_WINDOWS`] independent
+    /// windows of ~[`WINDOW`] each, so the report can carry min/median/max.
+    /// In test mode runs the routine exactly once.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         if self.test_mode {
             black_box(routine());
-            self.iters = 0;
             return;
         }
         // Warm-up: ~20 ms or 1000 iterations, whichever comes first.
@@ -121,17 +154,18 @@ impl Bencher {
             black_box(routine());
             warm_iters += 1;
         }
-        // Measurement window.
-        let mut iters = 0u64;
-        let start = Instant::now();
-        while start.elapsed() < Duration::from_millis(200) {
-            for _ in 0..16 {
-                black_box(routine());
+        // Independent measurement windows.
+        for _ in 0..SAMPLE_WINDOWS {
+            let mut iters = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < WINDOW {
+                for _ in 0..16 {
+                    black_box(routine());
+                }
+                iters += 16;
             }
-            iters += 16;
+            self.samples.push((iters, start.elapsed()));
         }
-        self.elapsed = start.elapsed();
-        self.iters = iters;
     }
 }
 
@@ -154,4 +188,39 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_sorted_handles_odd_and_even() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 9.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0, 9.0]), 2.5);
+        assert_eq!(median_of_sorted(&[4.0]), 4.0);
+    }
+
+    #[test]
+    fn bencher_collects_one_sample_per_window() {
+        let mut b = Bencher {
+            test_mode: false,
+            samples: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert_eq!(b.samples.len(), SAMPLE_WINDOWS);
+        assert!(b.samples.iter().all(|(iters, _)| *iters > 0));
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            samples: Vec::new(),
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(b.samples.is_empty());
+    }
 }

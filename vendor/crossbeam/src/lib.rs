@@ -3,168 +3,488 @@
 //! The build environment has no network access to crates.io, so this vendor
 //! crate provides the `crossbeam::epoch` API subset the workspace uses
 //! ([`epoch::pin`], [`epoch::Atomic`], [`epoch::Owned`], [`epoch::Shared`],
-//! `Guard::defer_destroy`), implemented with **reference counting** instead
-//! of epoch-based garbage collection: an [`epoch::Atomic`] holds an
-//! `Arc<T>` behind a readers-writer lock, a [`epoch::Shared`] owns a clone
-//! of that `Arc`, and "deferred destruction" is simply the drop of the last
-//! clone. That preserves the exact safety contract the call sites rely on —
-//! a value loaded under a pinned guard stays alive until the guard-scoped
-//! `Shared` goes away — at the cost of a lock/refcount per access rather
-//! than crossbeam's wait-free reads. Swap this directory for the real crate
-//! once the registry is reachable; call sites need no changes.
+//! `Guard::defer_destroy`), implemented as a **true epoch-based reclamation
+//! scheme**: a global epoch counter, per-thread participant records with a
+//! pinned-epoch word, and per-thread deferred-drop bags that are sealed with
+//! an epoch tag and reclaimed once the global epoch has advanced two steps
+//! past the tag. A snapshot read under a pinned guard is an atomic pointer
+//! load — no mutex or rwlock is ever taken on the read path (the only locks
+//! are on the cold registration/advance/collect paths).
+//!
+//! The algorithm is the classic two-epoch-grace EBR (Fraser; crossbeam):
+//!
+//! * **pin** publishes `(epoch << 1) | 1` into the participant's state word
+//!   with sequentially consistent ordering and re-reads the global epoch
+//!   until the published value is current, so a pinned participant is always
+//!   registered at an epoch that was global *after* publication;
+//! * **advance** moves the global epoch from `e` to `e + 1` only when every
+//!   pinned participant is pinned at `e`, so a participant pinned at `e`
+//!   holds the global epoch at or below `e + 1`;
+//! * **retire** tags garbage with the global epoch at (or after) unlink
+//!   time, and **collect** frees a sealed bag only once
+//!   `global >= tag + 2` — by the advance rule no participant that could
+//!   have loaded the unlinked pointer can still be pinned by then.
+//!
+//! Swap this directory for the real crate once the registry is reachable;
+//! call sites need no changes.
 
 #![warn(missing_docs)]
 
-/// Epoch-style memory reclamation, emulated with reference counting.
+/// Epoch-based memory reclamation.
 pub mod epoch {
+    use std::cell::{Cell, RefCell};
+    use std::collections::VecDeque;
     use std::fmt;
     use std::marker::PhantomData;
-    use std::sync::atomic::Ordering;
-    use std::sync::{Arc, PoisonError, RwLock};
+    use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-    /// A pinned-participant token.
+    /// A local bag seals (and a pin tick collects) once it holds this many
+    /// retired items, bounding per-thread floating garbage.
+    const BAG_SEAL_THRESHOLD: usize = 64;
+    /// Every this-many pins, the pinning thread helps advance and collect.
+    const PINS_BETWEEN_COLLECT: u32 = 64;
+
+    // ---------------------------------------------------------------- garbage
+
+    /// A type-erased retired heap allocation. Dropping it frees the pointee.
+    struct Garbage {
+        ptr: *mut u8,
+        drop_fn: unsafe fn(*mut u8),
+    }
+
+    // SAFETY: the pointee is required to be `Send` by `defer_destroy`'s
+    // bound, and the erased drop function only touches the pointee.
+    unsafe impl Send for Garbage {}
+
+    impl Garbage {
+        fn of_box<T: Send + 'static>(ptr: *mut T) -> Self {
+            unsafe fn drop_box<T>(p: *mut u8) {
+                // SAFETY: `p` came from `Box::into_raw` of a `Box<T>` in
+                // `of_box`, and ownership was transferred to this Garbage.
+                drop(unsafe { Box::from_raw(p.cast::<T>()) });
+            }
+            Garbage {
+                ptr: ptr.cast(),
+                drop_fn: drop_box::<T>,
+            }
+        }
+    }
+
+    impl Drop for Garbage {
+        fn drop(&mut self) {
+            // SAFETY: constructed only by `of_box`; dropped exactly once.
+            unsafe { (self.drop_fn)(self.ptr) }
+        }
+    }
+
+    /// A thread-local bag sealed with the epoch current at seal time.
+    struct SealedBag {
+        epoch: u64,
+        /// Never read — the items exist to be dropped (freed) when the
+        /// bag's grace period elapses and the bag itself is dropped.
+        #[allow(dead_code)]
+        items: Vec<Garbage>,
+    }
+
+    // ----------------------------------------------------------- participants
+
+    /// Per-thread record scanned by `try_advance`.
     ///
-    /// In real crossbeam, pinning delays reclamation; here lifetimes tied to
-    /// the guard keep `Arc` clones alive, so the guard itself carries no
-    /// state.
-    #[derive(Debug)]
+    /// `state` packs `(epoch << 1) | pinned`; when the pinned bit is clear
+    /// the epoch half is meaningless.
+    struct Participant {
+        state: AtomicU64,
+    }
+
+    struct GlobalState {
+        /// The global epoch. Monotonically increasing, never wraps in
+        /// practice (u64 at nanosecond pin rates outlives the hardware).
+        epoch: AtomicU64,
+        /// All registered participants. Locked only on thread
+        /// registration/exit and inside `try_advance` (cold paths).
+        participants: Mutex<Vec<Arc<Participant>>>,
+        /// Sealed bags awaiting their grace period.
+        garbage: Mutex<VecDeque<SealedBag>>,
+    }
+
+    fn global() -> &'static GlobalState {
+        static GLOBAL: OnceLock<GlobalState> = OnceLock::new();
+        GLOBAL.get_or_init(|| GlobalState {
+            epoch: AtomicU64::new(0),
+            participants: Mutex::new(Vec::new()),
+            garbage: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    /// Tries to move the global epoch forward by one. Fails (harmlessly)
+    /// when any participant is pinned at an older epoch or the participant
+    /// list is contended.
+    fn try_advance() {
+        let g = global();
+        let e = g.epoch.load(Ordering::SeqCst);
+        let Ok(parts) = g.participants.try_lock() else {
+            return;
+        };
+        for p in parts.iter() {
+            let s = p.state.load(Ordering::SeqCst);
+            if s & 1 == 1 && (s >> 1) != e {
+                // Pinned at an older epoch: its snapshot loads may still
+                // reach values retired up to two epochs back.
+                return;
+            }
+        }
+        drop(parts);
+        let _ = g
+            .epoch
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::Relaxed);
+    }
+
+    /// Frees every sealed bag whose grace period (two epochs) has elapsed.
+    fn collect() {
+        let g = global();
+        let e = g.epoch.load(Ordering::SeqCst);
+        let mut ready: Vec<SealedBag> = Vec::new();
+        if let Ok(mut queue) = g.garbage.try_lock() {
+            let mut i = 0;
+            while i < queue.len() {
+                if queue[i].epoch + 2 <= e {
+                    ready.extend(queue.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Run destructors outside the queue lock: drop glue may itself pin
+        // and retire (nested TVars), which must not deadlock.
+        drop(ready);
+    }
+
+    // ------------------------------------------------------------ local state
+
+    /// Thread-local participant handle; registers on first pin, deregisters
+    /// (and donates its bag to the global queue) on thread exit.
+    struct LocalHandle {
+        participant: Arc<Participant>,
+        pin_count: Cell<u64>,
+        bag: RefCell<Vec<Garbage>>,
+        pin_tick: Cell<u32>,
+    }
+
+    impl LocalHandle {
+        fn register() -> Self {
+            let participant = Arc::new(Participant {
+                state: AtomicU64::new(0),
+            });
+            global()
+                .participants
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(Arc::clone(&participant));
+            LocalHandle {
+                participant,
+                pin_count: Cell::new(0),
+                bag: RefCell::new(Vec::new()),
+                pin_tick: Cell::new(0),
+            }
+        }
+
+        /// Seals the local bag (if non-empty) into the global queue, tagged
+        /// with the current epoch.
+        fn seal(&self) {
+            let items = self.bag.replace(Vec::new());
+            if items.is_empty() {
+                return;
+            }
+            let g = global();
+            let epoch = g.epoch.load(Ordering::SeqCst);
+            g.garbage
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(SealedBag { epoch, items });
+        }
+    }
+
+    impl Drop for LocalHandle {
+        fn drop(&mut self) {
+            // Guards must not outlive this thread's LOCAL slot: a Guard
+            // stashed in *another* thread-local whose destructor runs later
+            // would lose its pin here and any pointer loaded under it could
+            // be freed before that destructor runs. All supported usage is
+            // stack-scoped guards (as in this workspace); catch violations
+            // in debug builds rather than silently unpinning a live guard.
+            debug_assert_eq!(
+                self.pin_count.get(),
+                0,
+                "a Guard outlived its thread's epoch participant (guards must \
+                 not be stored in other thread-locals)"
+            );
+            // Donate leftover garbage so another thread can reclaim it.
+            self.seal();
+            // Unpin so dead threads never hold the epoch back.
+            self.participant.state.store(0, Ordering::SeqCst);
+            let mut parts = global()
+                .participants
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            parts.retain(|p| !Arc::ptr_eq(p, &self.participant));
+        }
+    }
+
+    thread_local! {
+        static LOCAL: LocalHandle = LocalHandle::register();
+    }
+
+    // ----------------------------------------------------------------- guard
+
+    /// A pinned-participant token: while any guard is alive on a thread, the
+    /// global epoch can advance at most once past the thread's pinned epoch,
+    /// so pointers loaded under the guard stay allocated.
     pub struct Guard {
-        _private: (),
+        /// Guards are `!Send`/`!Sync`: unpinning must happen on the pinning
+        /// thread (the drop decrements that thread's pin count).
+        _not_send: PhantomData<*mut ()>,
+    }
+
+    impl fmt::Debug for Guard {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Guard { .. }")
+        }
     }
 
     /// Pins the current thread, returning a guard that scopes [`Shared`]
     /// pointers.
     pub fn pin() -> Guard {
-        Guard { _private: () }
+        LOCAL.with(|local| {
+            let count = local.pin_count.get();
+            local.pin_count.set(count + 1);
+            if count == 0 {
+                let g = global();
+                let mut e = g.epoch.load(Ordering::Relaxed);
+                loop {
+                    // Publish "pinned at e" before any subsequent pointer
+                    // load. SeqCst store + SeqCst re-read pair with the
+                    // SeqCst participant scan in `try_advance`.
+                    local
+                        .participant
+                        .state
+                        .store((e << 1) | 1, Ordering::SeqCst);
+                    let now = g.epoch.load(Ordering::SeqCst);
+                    if now == e {
+                        break;
+                    }
+                    // The epoch moved while we were publishing; re-publish
+                    // so the pinned epoch is one that was current *after*
+                    // publication.
+                    e = now;
+                }
+                let tick = local.pin_tick.get().wrapping_add(1);
+                local.pin_tick.set(tick);
+                if tick % PINS_BETWEEN_COLLECT == 0 {
+                    try_advance();
+                    collect();
+                }
+            }
+        });
+        Guard {
+            _not_send: PhantomData,
+        }
     }
 
     impl Guard {
-        /// Schedules the pointee for destruction once unreachable.
-        ///
-        /// With the refcount emulation this just drops `shared`'s `Arc`
-        /// clone; the pointee dies when the last concurrent reader drops
-        /// its own clone.
+        /// Schedules the pointee for destruction once every thread pinned at
+        /// the current or previous epoch has unpinned.
         ///
         /// # Safety
         ///
         /// As in crossbeam: the caller must guarantee `shared` is no longer
-        /// reachable through any `Atomic` (e.g. it was just swapped out).
-        pub unsafe fn defer_destroy<T>(&self, shared: Shared<'_, T>) {
-            drop(shared);
+        /// reachable through any [`Atomic`] (e.g. it was just swapped out)
+        /// and that no other thread will `defer_destroy` or `into_owned` the
+        /// same pointer.
+        pub unsafe fn defer_destroy<T: Send + 'static>(&self, shared: Shared<'_, T>) {
+            if shared.ptr.is_null() {
+                return;
+            }
+            LOCAL.with(|local| {
+                let full = {
+                    let mut bag = local.bag.borrow_mut();
+                    bag.push(Garbage::of_box(shared.ptr));
+                    bag.len() >= BAG_SEAL_THRESHOLD
+                };
+                if full {
+                    local.seal();
+                    try_advance();
+                    collect();
+                }
+            });
+        }
+
+        /// Seals this thread's garbage, tries to advance the epoch and runs
+        /// any ready reclamation. See the free function [`flush`].
+        pub fn flush(&self) {
+            flush();
         }
     }
 
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            // `try_with`: a guard dropped during thread-local teardown finds
+            // the handle already deregistered (which also unpinned it).
+            let _ = LOCAL.try_with(|local| {
+                let count = local.pin_count.get();
+                local.pin_count.set(count - 1);
+                if count == 1 {
+                    local.participant.state.store(0, Ordering::SeqCst);
+                }
+            });
+        }
+    }
+
+    /// Seals the calling thread's garbage bag, tries to advance the global
+    /// epoch and reclaims everything whose grace period has elapsed.
+    ///
+    /// Useful at quiescent points (between benchmark phases, after joining
+    /// worker threads, in tests asserting exact reclamation). Repeated calls
+    /// from a fully unpinned process drain all deferred garbage within two
+    /// epoch steps.
+    pub fn flush() {
+        let _ = LOCAL.try_with(|local| local.seal());
+        try_advance();
+        collect();
+    }
+
+    // --------------------------------------------------------------- pointers
+
     /// An owned heap value about to be published into an [`Atomic`].
     pub struct Owned<T> {
-        value: Arc<T>,
+        boxed: Box<T>,
     }
 
     impl<T> Owned<T> {
         /// Allocates `value`.
         pub fn new(value: T) -> Self {
             Owned {
-                value: Arc::new(value),
+                boxed: Box::new(value),
             }
         }
     }
 
     impl<T: fmt::Debug> fmt::Debug for Owned<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            f.debug_tuple("Owned").field(&self.value).finish()
+            f.debug_tuple("Owned").field(&self.boxed).finish()
         }
     }
 
     /// A pointer loaded from an [`Atomic`], valid for the guard's lifetime.
     ///
-    /// Owns an `Arc` clone, so the pointee cannot be freed while this value
-    /// lives — the refcount analogue of "pinned epoch".
+    /// The pointee cannot be freed while the guard that scoped this load is
+    /// alive: reclamation waits two epochs, and the pinned epoch blocks the
+    /// second advance.
     pub struct Shared<'g, T> {
-        value: Option<Arc<T>>,
-        _guard: PhantomData<&'g Guard>,
+        ptr: *mut T,
+        _guard: PhantomData<(&'g Guard, *const T)>,
     }
+
+    impl<T> Clone for Shared<'_, T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Shared<'_, T> {}
 
     impl<T> Shared<'_, T> {
         /// The null pointer.
         pub fn null() -> Self {
             Shared {
-                value: None,
+                ptr: std::ptr::null_mut(),
                 _guard: PhantomData,
             }
         }
 
         /// Whether this is the null pointer.
         pub fn is_null(&self) -> bool {
-            self.value.is_none()
+            self.ptr.is_null()
         }
 
         /// Dereferences the pointer.
         ///
         /// # Safety
         ///
-        /// As in crossbeam: the pointer must be non-null (here: non-null is
-        /// also checked, so misuse panics rather than exhibiting UB).
+        /// As in crossbeam: the pointer must be non-null, and must have been
+        /// loaded from an [`Atomic`] under the guard that scopes it.
         pub unsafe fn deref(&self) -> &T {
-            self.value.as_ref().expect("deref of null Shared")
+            debug_assert!(!self.ptr.is_null(), "deref of null Shared");
+            // SAFETY: non-null per the contract; alive because the epoch
+            // pinned by the scoping guard delays reclamation.
+            unsafe { &*self.ptr }
         }
 
         /// Converts into an [`Owned`], taking over the allocation.
         ///
         /// # Safety
         ///
-        /// As in crossbeam: the caller must be the sole owner; must be
-        /// non-null.
+        /// As in crossbeam: the caller must be the sole owner (the pointer
+        /// was swapped out and no concurrent reader can still reach it);
+        /// must be non-null.
         pub unsafe fn into_owned(self) -> Owned<T> {
+            debug_assert!(!self.ptr.is_null(), "into_owned of null Shared");
             Owned {
-                value: self.value.expect("into_owned of null Shared"),
+                // SAFETY: allocated via `Box` in `Owned::new`; sole
+                // ownership per the contract.
+                boxed: unsafe { Box::from_raw(self.ptr) },
             }
         }
     }
 
-    impl<T: fmt::Debug> fmt::Debug for Shared<'_, T> {
+    impl<T> fmt::Debug for Shared<'_, T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            f.debug_tuple("Shared").field(&self.value).finish()
+            f.debug_tuple("Shared").field(&self.ptr).finish()
         }
     }
 
     /// Pointer-like values that can be stored into an [`Atomic`].
     pub trait Pointer<T> {
-        /// Consumes `self`, yielding the backing allocation (if non-null).
-        fn into_arc(self) -> Option<Arc<T>>;
+        /// Consumes `self`, yielding the raw pointer (null for
+        /// `Shared::null()`).
+        fn into_ptr(self) -> *mut T;
     }
 
     impl<T> Pointer<T> for Owned<T> {
-        fn into_arc(self) -> Option<Arc<T>> {
-            Some(self.value)
+        fn into_ptr(self) -> *mut T {
+            Box::into_raw(self.boxed)
         }
     }
 
     impl<T> Pointer<T> for Shared<'_, T> {
-        fn into_arc(self) -> Option<Arc<T>> {
-            self.value
+        fn into_ptr(self) -> *mut T {
+            self.ptr
         }
     }
 
     /// An atomic, possibly-null pointer to a heap value.
+    ///
+    /// Loads are single atomic pointer loads; swaps are single atomic
+    /// read-modify-writes. No lock is ever taken.
     pub struct Atomic<T> {
-        slot: RwLock<Option<Arc<T>>>,
+        ptr: AtomicPtr<T>,
+        /// Owns the pointee (for auto-trait purposes).
+        _marker: PhantomData<Box<T>>,
     }
 
     impl<T> Atomic<T> {
         /// Allocates `value` and creates an atomic pointing at it.
         pub fn new(value: T) -> Self {
             Atomic {
-                slot: RwLock::new(Some(Arc::new(value))),
+                ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+                _marker: PhantomData,
             }
         }
 
-        /// Loads the current pointer under `_guard`.
-        ///
-        /// The `Ordering` is accepted for API compatibility; the lock
-        /// provides (stronger) acquire/release semantics.
-        pub fn load<'g>(&self, _ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
-            let slot = self.slot.read().unwrap_or_else(PoisonError::into_inner);
+        /// Loads the current pointer under `_guard`: one atomic load.
+        pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
             Shared {
-                value: slot.clone(),
+                ptr: self.ptr.load(ord),
                 _guard: PhantomData,
             }
         }
@@ -173,14 +493,26 @@ pub mod epoch {
         pub fn swap<'g, P: Pointer<T>>(
             &self,
             new: P,
-            _ord: Ordering,
+            ord: Ordering,
             _guard: &'g Guard,
         ) -> Shared<'g, T> {
-            let mut slot = self.slot.write().unwrap_or_else(PoisonError::into_inner);
-            let old = std::mem::replace(&mut *slot, new.into_arc());
             Shared {
-                value: old,
+                ptr: self.ptr.swap(new.into_ptr(), ord),
                 _guard: PhantomData,
+            }
+        }
+    }
+
+    impl<T> Drop for Atomic<T> {
+        fn drop(&mut self) {
+            // `&mut self`: no concurrent access. Whatever is still installed
+            // was never retired (retiring happens after swapping out), so
+            // dropping it here is the unique free.
+            let p = *self.ptr.get_mut();
+            if !p.is_null() {
+                // SAFETY: allocated via Box in `new`/`Owned::new`; unique
+                // ownership per above.
+                drop(unsafe { Box::from_raw(p) });
             }
         }
     }
@@ -194,6 +526,7 @@ pub mod epoch {
     #[cfg(test)]
     mod tests {
         use super::*;
+        use std::sync::atomic::AtomicUsize;
 
         #[test]
         fn load_swap_round_trip() {
@@ -223,8 +556,49 @@ pub mod epoch {
             let s = a.load(Ordering::Acquire, &g);
             let old = a.swap(Owned::new(String::from("new")), Ordering::AcqRel, &g);
             unsafe { g.defer_destroy(old) };
-            // `s` still owns a refcount: reading through it is safe.
+            // Reclamation cannot run while `g` pins this thread: reading
+            // through `s` stays safe even though the pointee was retired.
             assert_eq!(unsafe { s.deref() }, "alive");
+        }
+
+        #[test]
+        fn flush_reclaims_retired_values() {
+            struct CountsDrops(&'static AtomicUsize);
+            impl Drop for CountsDrops {
+                fn drop(&mut self) {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            static DROPS: AtomicUsize = AtomicUsize::new(0);
+            let before = DROPS.load(Ordering::SeqCst);
+            let a = Atomic::new(CountsDrops(&DROPS));
+            {
+                let g = pin();
+                let old = a.swap(Owned::new(CountsDrops(&DROPS)), Ordering::AcqRel, &g);
+                unsafe { g.defer_destroy(old) };
+            }
+            // Unpinned: repeated flushes advance the epoch past the grace
+            // period and run the deferred drop.
+            for _ in 0..8 {
+                flush();
+                if DROPS.load(Ordering::SeqCst) > before {
+                    break;
+                }
+            }
+            assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+            drop(a);
+            assert_eq!(DROPS.load(Ordering::SeqCst), before + 2);
+        }
+
+        #[test]
+        fn nested_pins_share_one_epoch_slot() {
+            let g1 = pin();
+            let g2 = pin();
+            drop(g1);
+            // Still pinned through g2; a load stays valid.
+            let a = Atomic::new(7u64);
+            assert_eq!(unsafe { *a.load(Ordering::Acquire, &g2).deref() }, 7);
+            drop(g2);
         }
     }
 }

@@ -13,10 +13,14 @@
 //! * [`ProptestConfig::with_cases`] and [`TestCaseError`].
 //!
 //! Differences from real proptest: cases are generated from a fixed
-//! deterministic seed (stable across runs and machines), and **there is no
-//! shrinking** — a failure reports the case number and message but not a
-//! minimized input. Swap this directory for the real crate once the
-//! registry is reachable; call sites need no changes.
+//! deterministic seed (stable across runs and machines), and shrinking is
+//! a simple **halving strategy** rather than a value tree — on failure the
+//! runner repeatedly tries simplified candidates (integers halved toward
+//! their lower bound, collections halved in length and element-shrunk,
+//! tuples shrunk component-wise) and reports the smallest input that still
+//! fails alongside the case number. `prop_map`/`prop_flat_map` outputs do
+//! not shrink (no inverse function). Swap this directory for the real
+//! crate once the registry is reachable; call sites need no changes.
 
 #![warn(missing_docs)]
 
@@ -86,13 +90,22 @@ impl std::error::Error for TestCaseError {}
 /// A recipe for generating random values of an output type.
 ///
 /// Unlike real proptest there is no value tree: strategies generate final
-/// values directly and nothing shrinks.
+/// values directly, and shrinking proposes simplified *candidates* of a
+/// failing value via [`Strategy::shrink`].
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simplified candidates of `value`, simplest first. The
+    /// runner adopts the first candidate that still fails and iterates.
+    /// Defaults to no candidates (no shrinking).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// A strategy applying `f` to every generated value.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -154,6 +167,30 @@ where
     }
 }
 
+/// Halving candidates for an integer `v` over a range starting at `lo`:
+/// the lower bound itself, the midpoint between `lo` and `v`, and `v - 1`.
+macro_rules! int_halving_candidates {
+    ($v:expr, $lo:expr, $t:ty) => {{
+        let v: $t = $v;
+        let lo: $t = $lo;
+        let mut out: Vec<$t> = Vec::new();
+        if v != lo {
+            out.push(lo);
+            if let Some(delta) = v.checked_sub(lo) {
+                let mid = lo + delta / 2;
+                if mid != v && mid != lo {
+                    out.push(mid);
+                }
+            }
+            let prev = v - 1;
+            if prev != lo {
+                out.push(prev);
+            }
+        }
+        out
+    }};
+}
+
 macro_rules! impl_strategy_for_ranges {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -161,11 +198,17 @@ macro_rules! impl_strategy_for_ranges {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.0.random_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_halving_candidates!(*value, self.start, $t)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.0.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_halving_candidates!(*value, *self.start(), $t)
             }
         }
     )*};
@@ -174,10 +217,24 @@ impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_strategy_for_tuples {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -194,6 +251,13 @@ impl_strategy_for_tuples! {
 pub trait Arbitrary: Sized {
     /// Generates one arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Proposes simplified candidates (see [`Strategy::shrink`]). Defaults
+    /// to none.
+    fn shrink(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -202,10 +266,35 @@ macro_rules! impl_arbitrary_int {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.0.random::<$t>()
             }
+            fn shrink(value: &$t) -> Vec<$t> {
+                // Halve toward zero (also from below, for signed types).
+                let mut out = Vec::new();
+                if *value != 0 {
+                    out.push(0);
+                    let half = *value / 2;
+                    if half != *value && half != 0 {
+                        out.push(half);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
-impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.0.random::<bool>()
+    }
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
 
 /// The strategy returned by [`any`].
 #[derive(Clone, Debug)]
@@ -218,6 +307,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
     }
 }
 
@@ -276,12 +369,40 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.0.random_range(self.size.min..self.size.max_exclusive);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            if len > self.size.min {
+                // Halve the length toward the minimum, then try dropping a
+                // single element from either end.
+                let target = self.size.min + (len - self.size.min) / 2;
+                out.push(value[..target].to_vec());
+                if len - 1 > target {
+                    out.push(value[1..].to_vec());
+                    out.push(value[..len - 1].to_vec());
+                }
+            }
+            // Shrink elements in place (fan-out capped to keep candidate
+            // lists small on long vectors).
+            for (i, element) in value.iter().enumerate().take(16) {
+                for cand in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -292,6 +413,80 @@ pub mod collection {
             element,
             size: size.into(),
         }
+    }
+}
+
+/// Greedy shrink loop: repeatedly adopts the first candidate of
+/// [`Strategy::shrink`] that still fails, until no candidate fails or the
+/// re-run budget is exhausted. Returns the minimized input, its failure,
+/// and how many shrink steps were taken.
+///
+/// Used by the [`proptest!`] runner; public so tests can drive it directly.
+#[doc(hidden)]
+pub fn __shrink<S: Strategy>(
+    strategy: &S,
+    initial: S::Value,
+    initial_err: TestCaseError,
+    run: &dyn Fn(&S::Value) -> Result<(), TestCaseError>,
+) -> (S::Value, TestCaseError, usize) {
+    let mut current = initial;
+    let mut err = initial_err;
+    let mut steps = 0usize;
+    let mut budget = 256usize;
+    loop {
+        let mut progressed = false;
+        for cand in strategy.shrink(&current) {
+            if budget == 0 {
+                return (current, err, steps);
+            }
+            budget -= 1;
+            if let Err(e) = run(&cand) {
+                current = cand;
+                err = e;
+                steps += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return (current, err, steps);
+        }
+    }
+}
+
+/// The [`proptest!`] case loop: generates `config.cases` inputs, runs each,
+/// and on failure shrinks before panicking with the minimized input.
+#[doc(hidden)]
+pub fn __run<S: Strategy>(
+    config: &ProptestConfig,
+    strategy: &S,
+    run: &dyn Fn(&S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: fmt::Debug,
+{
+    for case in 0..config.cases {
+        let mut rng = test_runner::TestRng::deterministic(case as u64);
+        let input = strategy.generate(&mut rng);
+        if let Err(err) = run(&input) {
+            let (minimized, min_err, steps) = __shrink(strategy, input, err, run);
+            panic!(
+                "proptest case {case}/{} failed: {min_err}\n\
+                 minimal input (after {steps} shrink steps): {minimized:?}",
+                config.cases,
+            );
+        }
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+#[doc(hidden)]
+pub fn __panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("test body panicked")
     }
 }
 
@@ -382,18 +577,21 @@ macro_rules! __proptest_impl {
         fn $name() {
             let config: $crate::ProptestConfig = $config;
             let strategy = ($($strategy,)+);
-            for case in 0..config.cases {
-                let mut rng = $crate::test_runner::TestRng::deterministic(case as u64);
-                let ($($pat,)+) = $crate::Strategy::generate(&strategy, &mut rng);
-                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                    (|| {
+            $crate::__run(&config, &strategy, &|input| {
+                let ($($pat,)+) = ::std::clone::Clone::clone(input);
+                let body = ::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), $crate::TestCaseError> {
                         $body
                         ::std::result::Result::Ok(())
-                    })();
-                if let ::std::result::Result::Err(err) = outcome {
-                    panic!("proptest case {case}/{} failed: {err}", config.cases);
+                    },
+                );
+                match ::std::panic::catch_unwind(body) {
+                    ::std::result::Result::Ok(outcome) => outcome,
+                    ::std::result::Result::Err(panic) => ::std::result::Result::Err(
+                        $crate::TestCaseError::fail($crate::__panic_message(&*panic)),
+                    ),
                 }
-            }
+            });
         }
     )*};
 }
@@ -438,5 +636,91 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal input")]
+    fn failing_property_reports_minimal_input() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn fails_from_ten(x in 0u64..1000) {
+                prop_assert!(x < 10, "too big: {x}");
+            }
+        }
+        fails_from_ten();
+    }
+
+    #[test]
+    fn shrink_minimizes_a_range_failure_to_the_boundary() {
+        let strategy = (0u64..1000,);
+        let run = |v: &(u64,)| {
+            if v.0 >= 10 {
+                Err(crate::TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimized, _, steps) = crate::__shrink(
+            &strategy,
+            (973,),
+            crate::TestCaseError::fail("too big"),
+            &run,
+        );
+        assert_eq!(minimized.0, 10, "halving must land on the failure boundary");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_minimizes_vec_length_and_elements() {
+        let strategy = (collection::vec(0u32..100, 1..20),);
+        // Fails whenever any element is >= 5.
+        let run = |v: &(Vec<u32>,)| {
+            if v.0.iter().any(|&x| x >= 5) {
+                Err(crate::TestCaseError::fail("contains big element"))
+            } else {
+                Ok(())
+            }
+        };
+        let seed = vec![93u32, 2, 41, 7, 0, 88, 3, 12];
+        let (minimized, _, _) = crate::__shrink(
+            &strategy,
+            (seed,),
+            crate::TestCaseError::fail("contains big element"),
+            &run,
+        );
+        assert_eq!(
+            minimized.0,
+            vec![5],
+            "minimal failing vector is a single boundary element"
+        );
+    }
+
+    #[test]
+    fn shrink_candidates_respect_range_bounds() {
+        let r = 3u64..17;
+        for v in [3u64, 4, 10, 16] {
+            for cand in Strategy::shrink(&r, &v) {
+                assert!((3..17).contains(&cand), "candidate {cand} escaped {r:?}");
+                assert!(cand < v, "candidate {cand} is not simpler than {v}");
+            }
+        }
+        assert!(Strategy::shrink(&r, &3).is_empty());
+    }
+
+    #[test]
+    fn panicking_bodies_are_reported_as_failures_and_shrunk() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn panics_over_limit(x in 0u32..50) {
+                // A plain assert! (panic), not prop_assert!.
+                assert!(x < 2, "hard panic at {x}");
+            }
+        }
+        let outcome = std::panic::catch_unwind(panics_over_limit);
+        let message = crate::__panic_message(&*outcome.expect_err("property must fail"));
+        assert!(
+            message.contains("minimal input"),
+            "panic-based failures must still shrink: {message}"
+        );
     }
 }
