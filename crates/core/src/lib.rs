@@ -47,7 +47,7 @@ pub use ats::{Ats, AtsConfig};
 pub use bloom::{BloomFilter, BloomRing};
 pub use kind::SchedulerKind;
 pub use pool::Pool;
-pub use serial_lock::SerialLock;
+pub use serial_lock::{SerialLock, SerialWait};
 pub use serializer::{Serializer, SerializerConfig};
 pub use shrink::{PredictionStats, Shrink, ShrinkConfig};
 pub use slots::ThreadSlots;

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use shrink_stm::{Abort, SchedCtx, TxScheduler, VarId};
 
-use crate::serial_lock::SerialLock;
+use crate::serial_lock::{SerialLock, SerialWait};
 use crate::slots::ThreadSlots;
 
 /// The Pool scheduler.
@@ -32,10 +32,17 @@ pub struct Pool {
 }
 
 impl Pool {
-    /// Creates a Pool scheduler.
+    /// Creates a Pool scheduler (parked serialization lock).
     pub fn new() -> Self {
+        Self::with_wait(SerialWait::Parked)
+    }
+
+    /// Creates a Pool scheduler with an explicit serialization waiting
+    /// strategy — `SerialWait::SpinYield` reproduces the pre-parking
+    /// behaviour for baseline measurements (`bench_locks`).
+    pub fn with_wait(wait: SerialWait) -> Self {
         Pool {
-            lock: SerialLock::new(),
+            lock: SerialLock::with_wait(wait),
             contended: ThreadSlots::new(|| AtomicBool::new(false)),
         }
     }

@@ -7,48 +7,128 @@
 //! the *serialization affinity* signal, and per-thread ownership tracking so
 //! `on_commit`/`on_abort` can release exactly when the paper's Algorithm 1
 //! says "if own global lock then unlock".
+//!
+//! Since the parking rewrite the default backing is the futex-parked
+//! [`RawMutex`]: a queued transaction sleeps in the kernel instead of
+//! burning its core, which is precisely the regime (more threads than
+//! cores, everything serialized) where the paper's Figures 7/9 live. The
+//! old spin-then-yield behaviour survives behind
+//! [`SerialWait::SpinYield`] so benchmarks can quantify the difference
+//! (`bench_locks`, DESIGN.md §8).
 
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use parking_lot::lock_api::RawMutex as _;
-use parking_lot::RawMutex;
+use parking_lot::{RawMutex, SpinRawMutex};
 use shrink_stm::ThreadId;
 
 use crate::slots::ThreadSlots;
 
+/// How a [`SerialLock`] waits when contended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SerialWait {
+    /// Park in the kernel (futex wait; portable parker elsewhere). Queued
+    /// threads release their core — the default.
+    #[default]
+    Parked,
+    /// Spin briefly, then `yield_now` in a loop. Retained as the benchmark
+    /// baseline; every queued thread keeps burning a scheduling quantum.
+    SpinYield,
+}
+
+impl fmt::Display for SerialWait {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialWait::Parked => f.write_str("parked"),
+            SerialWait::SpinYield => f.write_str("spin-yield"),
+        }
+    }
+}
+
+/// The raw mutex actually backing the lock.
+enum RawImpl {
+    Parked(RawMutex),
+    SpinYield(SpinRawMutex),
+}
+
+impl RawImpl {
+    fn lock(&self) {
+        match self {
+            RawImpl::Parked(raw) => raw.lock(),
+            RawImpl::SpinYield(raw) => raw.lock(),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The calling thread must hold the lock.
+    unsafe fn unlock(&self) {
+        match self {
+            // SAFETY: forwarded contract.
+            RawImpl::Parked(raw) => unsafe { raw.unlock() },
+            // SAFETY: forwarded contract.
+            RawImpl::SpinYield(raw) => unsafe { raw.unlock() },
+        }
+    }
+}
+
 /// A global mutex with a serialized-thread counter and per-thread ownership
 /// bookkeeping.
 pub struct SerialLock {
-    raw: RawMutex,
+    raw: RawImpl,
+    /// Exact count of threads between `acquire`'s entry and
+    /// `release_if_held`'s exit — i.e. blocked on or holding the lock.
+    ///
+    /// Ordering: the increment/decrement are `SeqCst` RMWs and the read is
+    /// a `SeqCst` load, so every observer sees the transitions in one total
+    /// order consistent with the park/unpark they bracket. A thread is
+    /// counted *before* it can possibly block (increment precedes the raw
+    /// `lock()`) and stays counted until *after* the lock is released
+    /// (decrement follows the raw `unlock()`), so the signal can neither
+    /// transiently under-count a parked thread nor drop below the number of
+    /// holders — `wait_count` is exact, never an estimate, across the
+    /// futex park/unpark boundary.
     waiting: AtomicU32,
     holds: ThreadSlots<AtomicU32>,
 }
 
 impl SerialLock {
-    /// Creates an unheld lock.
+    /// Creates an unheld, futex-parked lock.
     pub fn new() -> Self {
+        Self::with_wait(SerialWait::Parked)
+    }
+
+    /// Creates an unheld lock with an explicit waiting strategy.
+    pub fn with_wait(wait: SerialWait) -> Self {
         SerialLock {
-            raw: RawMutex::INIT,
+            raw: match wait {
+                SerialWait::Parked => RawImpl::Parked(RawMutex::INIT),
+                SerialWait::SpinYield => RawImpl::SpinYield(SpinRawMutex::INIT),
+            },
             waiting: AtomicU32::new(0),
             holds: ThreadSlots::new(|| AtomicU32::new(0)),
         }
     }
 
     /// Number of threads currently serialized: blocked on or holding the
-    /// lock. This is the paper's `wait_count`.
+    /// lock. This is the paper's `wait_count`, and it is exact (see the
+    /// field docs on `waiting`).
     pub fn wait_count(&self) -> u32 {
-        self.waiting.load(Ordering::Acquire)
+        self.waiting.load(Ordering::SeqCst)
     }
 
     /// Serializes the calling thread: counts it as waiting, then blocks
-    /// until the lock is acquired. No-op if the thread already holds it.
+    /// (parked, by default) until the lock is acquired. No-op if the thread
+    /// already holds it.
     pub fn acquire(&self, me: ThreadId) {
         let held = self.holds.get(me);
         if held.load(Ordering::Relaxed) != 0 {
             return;
         }
-        self.waiting.fetch_add(1, Ordering::AcqRel);
+        // Count first, block second: a parked thread is always visible in
+        // the affinity signal.
+        self.waiting.fetch_add(1, Ordering::SeqCst);
         self.raw.lock();
         held.store(1, Ordering::Relaxed);
     }
@@ -66,7 +146,9 @@ impl SerialLock {
         unsafe {
             self.raw.unlock();
         }
-        self.waiting.fetch_sub(1, Ordering::AcqRel);
+        // Uncount last: the thread stays in the signal until the lock is
+        // actually free for the next waiter.
+        self.waiting.fetch_sub(1, Ordering::SeqCst);
         true
     }
 
@@ -104,16 +186,18 @@ mod tests {
 
     #[test]
     fn acquire_release_round_trip() {
-        let lock = SerialLock::new();
-        let me = tid(1);
-        assert_eq!(lock.wait_count(), 0);
-        lock.acquire(me);
-        assert!(lock.is_held_by(me));
-        assert_eq!(lock.wait_count(), 1);
-        assert!(lock.release_if_held(me));
-        assert!(!lock.is_held_by(me));
-        assert_eq!(lock.wait_count(), 0);
-        assert!(!lock.release_if_held(me), "double release is a no-op");
+        for wait in [SerialWait::Parked, SerialWait::SpinYield] {
+            let lock = SerialLock::with_wait(wait);
+            let me = tid(1);
+            assert_eq!(lock.wait_count(), 0);
+            lock.acquire(me);
+            assert!(lock.is_held_by(me));
+            assert_eq!(lock.wait_count(), 1);
+            assert!(lock.release_if_held(me));
+            assert!(!lock.is_held_by(me));
+            assert_eq!(lock.wait_count(), 0);
+            assert!(!lock.release_if_held(me), "double release is a no-op");
+        }
     }
 
     #[test]
@@ -129,30 +213,32 @@ mod tests {
 
     #[test]
     fn contending_threads_serialize() {
-        let lock = Arc::new(SerialLock::new());
-        let shared = Arc::new(AtomicU32::new(0));
-        let handles: Vec<_> = (1..=4u16)
-            .map(|raw| {
-                let lock = Arc::clone(&lock);
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
-                    let me = tid(raw);
-                    for _ in 0..100 {
-                        lock.acquire(me);
-                        // Critical section: non-atomic-looking increment.
-                        let v = shared.load(Ordering::Relaxed);
-                        std::hint::spin_loop();
-                        shared.store(v + 1, Ordering::Relaxed);
-                        assert!(lock.release_if_held(me));
-                    }
+        for wait in [SerialWait::Parked, SerialWait::SpinYield] {
+            let lock = Arc::new(SerialLock::with_wait(wait));
+            let shared = Arc::new(AtomicU32::new(0));
+            let handles: Vec<_> = (1..=4u16)
+                .map(|raw| {
+                    let lock = Arc::clone(&lock);
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || {
+                        let me = tid(raw);
+                        for _ in 0..100 {
+                            lock.acquire(me);
+                            // Critical section: non-atomic-looking increment.
+                            let v = shared.load(Ordering::Relaxed);
+                            std::hint::spin_loop();
+                            shared.store(v + 1, Ordering::Relaxed);
+                            assert!(lock.release_if_held(me));
+                        }
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(shared.load(Ordering::Relaxed), 400);
+            assert_eq!(lock.wait_count(), 0);
         }
-        assert_eq!(shared.load(Ordering::Relaxed), 400);
-        assert_eq!(lock.wait_count(), 0);
     }
 
     #[test]
@@ -166,15 +252,25 @@ mod tests {
                 lock.release_if_held(tid(2));
             })
         };
-        // Wait until the second thread is counted.
+        // Wait until the second thread is counted; along the way the signal
+        // must never over-count (exactness: only two threads exist, so any
+        // reading above 2 would be a counting bug across park/unpark).
         let mut tries = 0;
-        while lock.wait_count() < 2 && tries < 1000 {
+        loop {
+            let count = lock.wait_count();
+            assert!(count <= 2, "wait_count {count} over-counts two threads");
+            if count == 2 || tries >= 1000 {
+                break;
+            }
             std::thread::sleep(Duration::from_millis(1));
             tries += 1;
         }
-        assert_eq!(lock.wait_count(), 2, "holder + waiter");
+        assert_eq!(lock.wait_count(), 2, "holder + parked waiter");
         lock.release_if_held(tid(1));
         waiter.join().unwrap();
+        // Quiescent: the counter must return exactly to zero — the paper's
+        // affinity gate reads it raw, a residual ±1 would skew every
+        // serialization decision from here on.
         assert_eq!(lock.wait_count(), 0);
     }
 }

@@ -47,6 +47,13 @@ pub enum WaitPolicy {
     /// processor, which wastes whole scheduling quanta once the system is
     /// overloaded.
     Busy,
+    /// Spin briefly, yield briefly, then *sleep* in escalating naps (and cap
+    /// the busy portion of retry backoff). Goes beyond the paper's two
+    /// policies: where `Preemptive` still keeps every waiter runnable —
+    /// re-entering the scheduler's queue just to poll again — `Parked`
+    /// waiters leave the run queue entirely, which is what lets serialized
+    /// overloaded workloads stop burning the cores the lock holder needs.
+    Parked,
 }
 
 impl fmt::Display for WaitPolicy {
@@ -54,6 +61,7 @@ impl fmt::Display for WaitPolicy {
         match self {
             WaitPolicy::Preemptive => f.write_str("preemptive"),
             WaitPolicy::Busy => f.write_str("busy"),
+            WaitPolicy::Parked => f.write_str("parked"),
         }
     }
 }
@@ -178,6 +186,7 @@ mod tests {
         assert_eq!(BackendKind::Tiny.to_string(), "tiny");
         assert_eq!(WaitPolicy::Preemptive.to_string(), "preemptive");
         assert_eq!(WaitPolicy::Busy.to_string(), "busy");
+        assert_eq!(WaitPolicy::Parked.to_string(), "parked");
         assert_eq!(CmPolicy::Karma.to_string(), "karma");
         assert_eq!(CmPolicy::default().to_string(), "backend-default");
     }

@@ -90,3 +90,17 @@ fn tiny_busy_conserves_money_under_all_schedulers() {
         transfer_matrix_cell(BackendKind::Tiny, WaitPolicy::Busy, &kind);
     }
 }
+
+#[test]
+fn swiss_parked_conserves_money_under_all_schedulers() {
+    for kind in scheduler_kinds() {
+        transfer_matrix_cell(BackendKind::Swiss, WaitPolicy::Parked, &kind);
+    }
+}
+
+#[test]
+fn tiny_parked_conserves_money_under_all_schedulers() {
+    for kind in scheduler_kinds() {
+        transfer_matrix_cell(BackendKind::Tiny, WaitPolicy::Parked, &kind);
+    }
+}

@@ -1,25 +1,41 @@
-//! Offline stand-in for the `parking_lot` crate.
+//! Offline stand-in for the `parking_lot` crate — now a real parking-based
+//! locking subsystem, not a `std::sync` facade.
 //!
 //! The build environment has no network access to crates.io, so this vendor
-//! crate provides the `parking_lot` API subset the workspace uses, backed by
-//! `std::sync` primitives:
+//! crate provides the `parking_lot` API subset the workspace uses. Since
+//! the futex rewrite it no longer wraps `std::sync` at all:
 //!
-//! * [`Mutex`] / [`RwLock`] — guard-returning `lock()` / `read()` / `write()`
-//!   without a `Result` (poisoning is swallowed, matching parking_lot's
-//!   no-poisoning semantics);
-//! * [`RawMutex`] and the [`lock_api::RawMutex`] trait — a spin-then-yield
-//!   raw mutex whose guardless `lock`/`unlock` pair can span scopes (the
-//!   serialization lock needs to be released from scheduler hooks).
+//! * [`futex`] — `futex(2)` wait/wake on Linux x86_64/aarch64 (raw syscalls
+//!   via inline asm; there is no `libc` offline), with a portable
+//!   [`parker`]-based fallback elsewhere;
+//! * [`parker`] — the namesake miniature parking lot: address-keyed FIFO
+//!   wait queues over `std::thread::park`;
+//! * [`RawMutex`] — word-sized three-state parked mutex (inline CAS fast
+//!   path → bounded spin → futex wait; wake-one handoff, FIFO-ish). Its
+//!   guardless `lock`/`unlock` pair can span scopes, which the STM
+//!   serialization lock needs (release happens in scheduler hooks);
+//! * [`Mutex`] / [`RwLock`] — guard-returning locks built on the same
+//!   words: no poisoning, no `std::sync` bookkeeping, and waiters park
+//!   instead of burning a core;
+//! * [`SpinRawMutex`] — the previous spin-then-yield raw mutex, retained
+//!   solely as the benchmark baseline (`bench_locks`, DESIGN.md §8);
+//! * [`lock_api`] — the raw-mutex trait `parking_lot` re-exports.
 //!
-//! Fairness and parking-lot queueing are *not* reproduced; under heavy
-//! contention the raw mutex degrades to yielding. Swap this directory for
-//! the real crate once the registry is reachable; call sites need no
-//! changes.
+//! Swap this directory for the real crate once the registry is reachable;
+//! call sites need no changes.
 
 #![warn(missing_docs)]
 
-use std::fmt;
-use std::sync::PoisonError;
+pub mod futex;
+pub mod parker;
+
+mod mutex;
+mod raw;
+mod rwlock;
+
+pub use mutex::{Mutex, MutexGuard};
+pub use raw::{RawMutex, SpinRawMutex};
+pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The `lock_api` facade: the raw-mutex trait `parking_lot` re-exports.
 pub mod lock_api {
@@ -45,228 +61,5 @@ pub mod lock_api {
         ///
         /// The calling thread must hold the lock.
         unsafe fn unlock(&self);
-    }
-}
-
-/// A raw guardless mutex: spin briefly, then yield to the OS scheduler.
-pub struct RawMutex {
-    locked: std::sync::atomic::AtomicBool,
-}
-
-unsafe impl lock_api::RawMutex for RawMutex {
-    const INIT: RawMutex = RawMutex {
-        locked: std::sync::atomic::AtomicBool::new(false),
-    };
-
-    fn lock(&self) {
-        use std::sync::atomic::Ordering;
-        let mut spins = 0u32;
-        loop {
-            if self
-                .locked
-                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
-            {
-                return;
-            }
-            // Spin a little for short critical sections, then yield so a
-            // descheduled holder can make progress.
-            while self.locked.load(Ordering::Relaxed) {
-                if spins < 64 {
-                    spins += 1;
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
-        }
-    }
-
-    fn try_lock(&self) -> bool {
-        use std::sync::atomic::Ordering;
-        self.locked
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
-    }
-
-    unsafe fn unlock(&self) {
-        self.locked
-            .store(false, std::sync::atomic::Ordering::Release);
-    }
-}
-
-impl fmt::Debug for RawMutex {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("RawMutex { .. }")
-    }
-}
-
-/// A mutex whose `lock` returns the guard directly (no poisoning).
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
-
-/// RAII guard for [`Mutex`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
-
-impl<T> Mutex<T> {
-    /// Creates an unlocked mutex holding `value`.
-    pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
-    }
-
-    /// Consumes the mutex, returning the inner value.
-    pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
-    }
-}
-
-impl<T: ?Sized> Mutex<T> {
-    /// Blocks until the lock is acquired.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Attempts to acquire the lock without blocking.
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
-    }
-
-    /// Mutable access without locking (requires exclusive ownership).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
-    }
-}
-
-impl<T: Default> Default for Mutex<T> {
-    fn default() -> Self {
-        Mutex::new(T::default())
-    }
-}
-
-impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
-    }
-}
-
-/// A readers-writer lock whose `read`/`write` return guards directly.
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
-
-/// Shared RAII guard for [`RwLock`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
-/// Exclusive RAII guard for [`RwLock`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
-
-impl<T> RwLock<T> {
-    /// Creates an unlocked lock holding `value`.
-    pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
-    }
-
-    /// Consumes the lock, returning the inner value.
-    pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
-    }
-}
-
-impl<T: ?Sized> RwLock<T> {
-    /// Blocks until shared access is acquired.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Blocks until exclusive access is acquired.
-    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Attempts shared access without blocking.
-    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
-    }
-
-    /// Attempts exclusive access without blocking.
-    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
-    }
-
-    /// Mutable access without locking (requires exclusive ownership).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
-    }
-}
-
-impl<T: Default> Default for RwLock<T> {
-    fn default() -> Self {
-        RwLock::new(T::default())
-    }
-}
-
-impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::lock_api::RawMutex as _;
-    use super::*;
-    use std::sync::atomic::{AtomicU32, Ordering};
-    use std::sync::Arc;
-
-    #[test]
-    fn mutex_round_trip() {
-        let m = Mutex::new(1);
-        *m.lock() += 1;
-        assert_eq!(*m.lock(), 2);
-        assert!(m.try_lock().is_some());
-    }
-
-    #[test]
-    fn rwlock_shared_then_exclusive() {
-        let l = RwLock::new(vec![1, 2]);
-        {
-            let a = l.read();
-            let b = l.read();
-            assert_eq!(a.len() + b.len(), 4);
-        }
-        l.write().push(3);
-        assert_eq!(l.read().len(), 3);
-    }
-
-    #[test]
-    fn raw_mutex_excludes() {
-        let raw = Arc::new(RawMutex::INIT);
-        let counter = Arc::new(AtomicU32::new(0));
-        let handles: Vec<_> = (0..4)
-            .map(|_| {
-                let raw = Arc::clone(&raw);
-                let counter = Arc::clone(&counter);
-                std::thread::spawn(move || {
-                    for _ in 0..1000 {
-                        raw.lock();
-                        let v = counter.load(Ordering::Relaxed);
-                        counter.store(v + 1, Ordering::Relaxed);
-                        unsafe { raw.unlock() };
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(counter.load(Ordering::Relaxed), 4000);
     }
 }

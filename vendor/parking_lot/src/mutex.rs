@@ -1,0 +1,173 @@
+//! [`Mutex`]: the guard-returning mutex, built on the parked [`RawMutex`].
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+
+use crate::lock_api::RawMutex as _;
+use crate::raw::RawMutex;
+
+/// A mutex whose `lock` returns the guard directly — no poisoning, and no
+/// `std::sync` underneath: blocking goes through the crate's futex/parker.
+pub struct Mutex<T: ?Sized> {
+    raw: RawMutex,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: a Mutex hands out &mut T across threads, so it is Send/Sync
+// exactly when T is Send (same bounds as std::sync::Mutex).
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates an unlocked mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            raw: RawMutex::INIT,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Blocks until the lock is acquired.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.raw.lock();
+        MutexGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if self.raw.try_lock() {
+            Some(MutexGuard {
+                lock: self,
+                _not_send: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        // SAFETY: &mut self guarantees no guards exist.
+        unsafe { &mut *self.data.get() }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; unlocks on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// Guards must unlock on the locking thread (`!Send`), matching both
+    /// `parking_lot` and `std`.
+    _not_send: PhantomData<*mut ()>,
+}
+
+// SAFETY: sharing a guard only shares &T.
+unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard witnesses exclusive ownership of the raw lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above; &mut self prevents aliased derefs.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: this guard holds the lock by construction.
+        unsafe { self.lock.raw.unlock() };
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trip_and_try_lock() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        let held = m.lock();
+        assert!(m.try_lock().is_none(), "held ⇒ try_lock fails");
+        drop(held);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn get_mut_and_default() {
+        let mut m = Mutex::<Vec<u32>>::default();
+        m.get_mut().push(3);
+        assert_eq!(m.lock().len(), 1);
+    }
+
+    #[test]
+    fn contended_increments_do_not_tear() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn debug_shows_value_or_locked() {
+        let m = Mutex::new(5);
+        assert!(format!("{m:?}").contains('5'));
+        let _g = m.lock();
+        assert!(format!("{m:?}").contains("locked"));
+    }
+}

@@ -1,0 +1,283 @@
+//! A miniature parking lot: address-keyed FIFO wait queues over
+//! [`std::thread::park`].
+//!
+//! This is the portable backend behind [`crate::futex`] on targets where the
+//! real `futex(2)` syscall is unavailable, and the namesake of the crate: a
+//! global table of buckets, each holding a FIFO queue of parked threads
+//! keyed by the address of the atomic they are waiting on.
+//!
+//! Semantics mirror a futex:
+//!
+//! * [`park`] atomically checks a caller-supplied `validate` predicate under
+//!   the bucket lock and, only if it still holds, enqueues the calling
+//!   thread and blocks it. A waker that changes the waited-on word and then
+//!   calls [`unpark_one`]/[`unpark_all`] therefore cannot lose the wakeup:
+//!   either the sleeper revalidates and refuses to sleep, or it is in the
+//!   queue by the time the waker scans it.
+//! * [`unpark_one`] wakes the **oldest** waiter on the address (FIFO), so
+//!   convoys drain in arrival order.
+//! * Spurious [`std::thread::park`] returns are absorbed internally; `park`
+//!   only returns once the thread was explicitly unparked (or validation
+//!   failed).
+//!
+//! The bucket lock is a plain spin lock: critical sections are a handful of
+//! `Vec` operations, and the queue is only touched on the slow path of the
+//! locks built on top.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, Thread};
+
+/// One parked thread: the address it waits on, its handle, and the wake
+/// flag that guards against spurious `thread::park` returns.
+struct WaitNode {
+    addr: usize,
+    thread: Thread,
+    signalled: AtomicBool,
+}
+
+/// A hash bucket: spin lock plus FIFO queue of waiters.
+struct Bucket {
+    lock: AtomicBool,
+    queue: UnsafeCell<Vec<Arc<WaitNode>>>,
+}
+
+// SAFETY: `queue` is only accessed while `lock` is held (see `with_queue`).
+unsafe impl Sync for Bucket {}
+
+impl Bucket {
+    const fn new() -> Self {
+        Bucket {
+            lock: AtomicBool::new(false),
+            queue: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Runs `f` with the queue, holding the bucket spin lock.
+    fn with_queue<R>(&self, f: impl FnOnce(&mut Vec<Arc<WaitNode>>) -> R) -> R {
+        while self
+            .lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        // SAFETY: the spin lock above grants exclusive access to `queue`.
+        let result = f(unsafe { &mut *self.queue.get() });
+        self.lock.store(false, Ordering::Release);
+        result
+    }
+}
+
+const BUCKET_COUNT: usize = 64;
+
+static TABLE: [Bucket; BUCKET_COUNT] = [const { Bucket::new() }; BUCKET_COUNT];
+
+/// Maps an address to its bucket. Addresses of distinct `AtomicU32`s are at
+/// least 4 apart, so the low two bits carry no information.
+fn bucket(addr: usize) -> &'static Bucket {
+    // Fibonacci hashing spreads consecutive words across buckets. Hash in
+    // u64 so the constant and the >> 32 stay valid on 32-bit targets.
+    let hash = ((addr as u64) >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    &TABLE[((hash >> 32) as usize) % BUCKET_COUNT]
+}
+
+/// Parks the calling thread on `addr` until unparked.
+///
+/// `validate` runs under the bucket lock; if it returns `false` the thread
+/// is not enqueued and `park` returns immediately. This is the futex
+/// compare: pass a check that the waited-on word still has its "I should
+/// sleep" value.
+pub fn park(addr: usize, validate: impl FnOnce() -> bool) {
+    let node = Arc::new(WaitNode {
+        addr,
+        thread: thread::current(),
+        signalled: AtomicBool::new(false),
+    });
+    let enqueued = bucket(addr).with_queue(|queue| {
+        if !validate() {
+            return false;
+        }
+        queue.push(Arc::clone(&node));
+        true
+    });
+    if !enqueued {
+        return;
+    }
+    while !node.signalled.load(Ordering::Acquire) {
+        thread::park();
+    }
+}
+
+/// Unparks the oldest thread parked on `addr`. Returns how many threads
+/// were woken (0 or 1).
+pub fn unpark_one(addr: usize) -> usize {
+    let node = bucket(addr).with_queue(|queue| {
+        queue
+            .iter()
+            .position(|n| n.addr == addr)
+            .map(|i| queue.remove(i))
+    });
+    match node {
+        Some(node) => {
+            node.signalled.store(true, Ordering::Release);
+            node.thread.unpark();
+            1
+        }
+        None => 0,
+    }
+}
+
+/// Unparks every thread parked on `addr`. Returns how many were woken.
+pub fn unpark_all(addr: usize) -> usize {
+    let woken = bucket(addr).with_queue(|queue| {
+        let mut woken = Vec::new();
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].addr == addr {
+                woken.push(queue.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        woken
+    });
+    for node in &woken {
+        node.signalled.store(true, Ordering::Release);
+        node.thread.unpark();
+    }
+    woken.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    /// Spawns `n` threads that park on `addr` (validation always true) and
+    /// bump a counter when they return.
+    fn spawn_parked(addr: usize, n: usize) -> (Arc<AtomicU32>, Vec<thread::JoinHandle<()>>) {
+        let woken = Arc::new(AtomicU32::new(0));
+        let handles = (0..n)
+            .map(|_| {
+                let woken = Arc::clone(&woken);
+                thread::spawn(move || {
+                    park(addr, || true);
+                    woken.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        (woken, handles)
+    }
+
+    fn wait_for(cond: impl Fn() -> bool) {
+        for _ in 0..2000 {
+            if cond() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        panic!("condition not reached within 2s");
+    }
+
+    #[test]
+    fn validation_failure_returns_immediately() {
+        let word = AtomicU32::new(1);
+        // Simulates the futex compare failing: no sleep, no enqueue.
+        park(word.as_ptr() as usize, || word.load(Ordering::SeqCst) == 0);
+        assert_eq!(unpark_one(word.as_ptr() as usize), 0, "nothing enqueued");
+    }
+
+    #[test]
+    fn unpark_one_wakes_exactly_one() {
+        let word = AtomicU32::new(0);
+        let addr = word.as_ptr() as usize;
+        let (woken, handles) = spawn_parked(addr, 2);
+        // Both must be enqueued before we start waking.
+        wait_for(|| bucket(addr).with_queue(|q| q.iter().filter(|n| n.addr == addr).count()) == 2);
+        assert_eq!(unpark_one(addr), 1);
+        wait_for(|| woken.load(Ordering::SeqCst) == 1);
+        // The second is still parked: give it a moment, count must not move.
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(woken.load(Ordering::SeqCst), 1, "only one thread woken");
+        assert_eq!(unpark_one(addr), 1);
+        wait_for(|| woken.load(Ordering::SeqCst) == 2);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(unpark_one(addr), 0, "queue drained");
+    }
+
+    #[test]
+    fn unpark_all_wakes_everyone() {
+        let word = AtomicU32::new(0);
+        let addr = word.as_ptr() as usize;
+        let (woken, handles) = spawn_parked(addr, 3);
+        wait_for(|| bucket(addr).with_queue(|q| q.iter().filter(|n| n.addr == addr).count()) == 3);
+        assert_eq!(unpark_all(addr), 3);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woken.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn unpark_one_is_fifo() {
+        let word = AtomicU32::new(0);
+        let addr = word.as_ptr() as usize;
+        let order = Arc::new(crate::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for id in 0..3u32 {
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                park(addr, || true);
+                order.lock().push(id);
+            }));
+            // Ensure thread `id` is enqueued before spawning the next, so
+            // arrival order is deterministic.
+            wait_for(|| {
+                bucket(addr).with_queue(|q| q.iter().filter(|n| n.addr == addr).count())
+                    == (id + 1) as usize
+            });
+        }
+        for k in 1..=3 {
+            assert_eq!(unpark_one(addr), 1);
+            // Let the woken thread record itself before waking the next, so
+            // the recorded order reflects wake order.
+            wait_for(|| order.lock().len() == k);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2], "woken in arrival order");
+    }
+
+    #[test]
+    fn distinct_addresses_do_not_cross_wake() {
+        let a = AtomicU32::new(0);
+        let b = AtomicU32::new(0);
+        let (woken_a, handles_a) = spawn_parked(a.as_ptr() as usize, 1);
+        let (woken_b, handles_b) = spawn_parked(b.as_ptr() as usize, 1);
+        wait_for(|| {
+            bucket(a.as_ptr() as usize).with_queue(|q| !q.is_empty())
+                || bucket(b.as_ptr() as usize).with_queue(|q| !q.is_empty())
+        });
+        wait_for(|| {
+            let qa = bucket(a.as_ptr() as usize)
+                .with_queue(|q| q.iter().any(|n| n.addr == a.as_ptr() as usize));
+            let qb = bucket(b.as_ptr() as usize)
+                .with_queue(|q| q.iter().any(|n| n.addr == b.as_ptr() as usize));
+            qa && qb
+        });
+        assert_eq!(unpark_all(b.as_ptr() as usize), 1);
+        wait_for(|| woken_b.load(Ordering::SeqCst) == 1);
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(woken_a.load(Ordering::SeqCst), 0, "a's waiter untouched");
+        assert_eq!(unpark_one(a.as_ptr() as usize), 1);
+        for h in handles_a.into_iter().chain(handles_b) {
+            h.join().unwrap();
+        }
+    }
+}

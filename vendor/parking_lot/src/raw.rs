@@ -1,0 +1,236 @@
+//! Raw (guardless) mutexes: the parked [`RawMutex`] and the spin-then-yield
+//! [`SpinRawMutex`] baseline it replaced.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use crate::futex;
+use crate::lock_api;
+
+/// Lock states of [`RawMutex`].
+const UNLOCKED: u32 = 0;
+const LOCKED: u32 = 1;
+/// Locked with (possibly) parked waiters: unlock must issue a wake.
+const CONTENDED: u32 = 2;
+
+/// Spins before the first park. Short critical sections (the serialization
+/// lock guards one transaction attempt, the `Mutex`/`RwLock` built on this
+/// guard a few field updates) usually release within this budget; past it,
+/// burning more cycles only taxes the overloaded regime parking exists for.
+const SPIN_LIMIT: u32 = 40;
+
+/// A word-sized parking raw mutex.
+///
+/// The uncontended path is a single inline CAS in both directions. Under
+/// contention a locker spins briefly, then publishes `CONTENDED` and parks
+/// in [`futex::wait`]; `unlock` hands off with one [`futex::wake_one`]
+/// (kernel futex queues drain FIFO-ish, and the portable fallback parker is
+/// strictly FIFO). A thread that waited even once acquires via
+/// `swap(CONTENDED)`, conservatively keeping the waiter bit until an unlock
+/// finds no one to wake — the classic three-state futex mutex.
+///
+/// Guardless `lock`/`unlock` can span scopes (the serialization lock is
+/// released from scheduler hooks, not where it was taken).
+pub struct RawMutex {
+    state: AtomicU32,
+}
+
+impl RawMutex {
+    #[cold]
+    fn lock_slow(&self) {
+        let mut spins = 0;
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s == UNLOCKED {
+                if self
+                    .state
+                    .compare_exchange_weak(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            // Someone is already parked — skip straight to parking; more
+            // spinning would only steal cycles from the holder.
+            if s == CONTENDED || spins >= SPIN_LIMIT {
+                break;
+            }
+            spins += 1;
+            std::hint::spin_loop();
+        }
+        // Park until the swap observes an unlock. Claiming with CONTENDED
+        // (not LOCKED) keeps the wake obligation alive for waiters behind us.
+        while self.state.swap(CONTENDED, Ordering::Acquire) != UNLOCKED {
+            futex::wait(&self.state, CONTENDED);
+        }
+    }
+}
+
+unsafe impl lock_api::RawMutex for RawMutex {
+    const INIT: RawMutex = RawMutex {
+        state: AtomicU32::new(UNLOCKED),
+    };
+
+    #[inline]
+    fn lock(&self) {
+        if self
+            .state
+            .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_slow();
+        }
+    }
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        self.state
+            .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    #[inline]
+    unsafe fn unlock(&self) {
+        if self.state.swap(UNLOCKED, Ordering::Release) == CONTENDED {
+            futex::wake_one(&self.state);
+        }
+    }
+}
+
+impl fmt::Debug for RawMutex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RawMutex { .. }")
+    }
+}
+
+/// The previous spin-then-yield raw mutex, retained as the benchmark
+/// baseline the parked [`RawMutex`] is measured against (see
+/// `crates/bench/src/bin/bench_locks.rs` and DESIGN.md §8).
+///
+/// Every waiter burns its scheduling quantum polling `locked`, yielding
+/// between polls — exactly the behaviour that taxes overloaded serialized
+/// workloads. Do not use it outside comparisons.
+pub struct SpinRawMutex {
+    locked: AtomicBool,
+}
+
+unsafe impl lock_api::RawMutex for SpinRawMutex {
+    const INIT: SpinRawMutex = SpinRawMutex {
+        locked: AtomicBool::new(false),
+    };
+
+    fn lock(&self) {
+        let mut spins = 0u32;
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            // Spin a little for short critical sections, then yield so a
+            // descheduled holder can make progress.
+            while self.locked.load(Ordering::Relaxed) {
+                if spins < 64 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    unsafe fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+impl fmt::Debug for SpinRawMutex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SpinRawMutex { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock_api::RawMutex as _;
+    use std::sync::Arc;
+
+    fn hammer<M: lock_api::RawMutex + Send + Sync + 'static>(raw: Arc<M>) {
+        let counter = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let raw = Arc::clone(&raw);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        raw.lock();
+                        // Non-atomic-looking increment: torn only if mutual
+                        // exclusion fails.
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        unsafe { raw.unlock() };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn parked_raw_mutex_excludes() {
+        hammer(Arc::new(RawMutex::INIT));
+    }
+
+    #[test]
+    fn spin_raw_mutex_excludes() {
+        hammer(Arc::new(SpinRawMutex::INIT));
+    }
+
+    #[test]
+    fn try_lock_respects_holder() {
+        let raw = RawMutex::INIT;
+        assert!(raw.try_lock());
+        assert!(!raw.try_lock());
+        unsafe { raw.unlock() };
+        assert!(raw.try_lock());
+        unsafe { raw.unlock() };
+    }
+
+    #[test]
+    fn contended_state_resets_after_drain() {
+        // A lock that saw parked waiters must return to the uncontended fast
+        // path once they drain (no stuck CONTENDED ⇒ no wake syscall storm).
+        let raw = Arc::new(RawMutex::INIT);
+        raw.lock();
+        let waiter = {
+            let raw = Arc::clone(&raw);
+            std::thread::spawn(move || {
+                raw.lock();
+                unsafe { raw.unlock() };
+            })
+        };
+        // Let the waiter park (state → CONTENDED).
+        while raw.state.load(Ordering::Relaxed) != CONTENDED {
+            std::thread::yield_now();
+        }
+        unsafe { raw.unlock() };
+        waiter.join().unwrap();
+        assert_eq!(raw.state.load(Ordering::Relaxed), UNLOCKED);
+        assert!(raw.try_lock(), "fast path restored");
+        unsafe { raw.unlock() };
+    }
+}

@@ -1,0 +1,443 @@
+//! [`RwLock`]: a futex-parked readers-writer lock.
+//!
+//! One state word plus two condition words:
+//!
+//! * `state` — bit 31 = writer holds, bit 30 = writer(s) waiting, bits
+//!   0..30 = reader count. Readers CAS the count up when neither writer bit
+//!   is set (so a waiting writer blocks *new* readers — writer-preferring,
+//!   which keeps `ThreadSlots` growth and STMBench7 structural updates from
+//!   starving under a read storm). Writers CAS `state` to `WRITER` when no
+//!   reader or writer holds.
+//! * `rcond`/`wcond` — wake epochs readers/writers park on ([`futex::wait`]
+//!   compares the epoch atomically, so a waker that bumps the epoch before
+//!   waking can never lose a sleeper: the sleeper either observes the bump
+//!   and refuses to sleep, or was already queued and gets the wake).
+//!
+//! Wake policy: sleepers announce themselves in `rparked`/`wparked`
+//! counters (a `SeqCst` increment *before* the pre-sleep re-check of
+//! `state`, decrement on wake), and unlocks only touch a condition word
+//! when its counter is non-zero — so fully uncontended unlocks, read or
+//! write, issue **no syscall**. The Dekker pairing makes this safe: the
+//! unlock's `state` RMW and counter load, and the sleeper's counter RMW
+//! and `state` re-check, are all `SeqCst`, so either the sleeper's
+//! re-check observes the freed lock (and refuses to sleep) or the
+//! unlocker observes the counter (and wakes); the epoch compare inside
+//! [`futex::wait`] closes the remaining window between re-check and
+//! kernel enqueue. The counters also make "a parked writer whose
+//! `WR_WAIT` flag was stolen by a barging writer" impossible to strand:
+//! the stealer holds the lock, and its unlock consults `wparked`, not
+//! the flag. `WR_WAIT` itself is purely the anti-barge gate for readers.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::futex;
+
+/// Writer-held bit.
+const WRITER: u32 = 1 << 31;
+/// Writer(s)-waiting bit: blocks new readers.
+const WR_WAIT: u32 = 1 << 30;
+/// One reader.
+const READER: u32 = 1;
+/// Mask of the reader count.
+const READER_MASK: u32 = WR_WAIT - 1;
+
+/// Spins before parking; see `raw::SPIN_LIMIT` for the rationale.
+const SPIN_LIMIT: u32 = 40;
+
+/// A readers-writer lock whose `read`/`write` return guards directly (no
+/// poisoning), parked on the crate's futex/parker when contended.
+pub struct RwLock<T: ?Sized> {
+    state: AtomicU32,
+    /// Reader wake epoch.
+    rcond: AtomicU32,
+    /// Writer wake epoch.
+    wcond: AtomicU32,
+    /// Readers currently parked (or committed to parking) on `rcond`.
+    rparked: AtomicU32,
+    /// Writers currently parked (or committed to parking) on `wcond`.
+    wparked: AtomicU32,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: same bounds as std::sync::RwLock — readers share &T across
+// threads (T: Sync), into_inner/write moves T (T: Send).
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates an unlocked lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            state: AtomicU32::new(0),
+            rcond: AtomicU32::new(0),
+            wcond: AtomicU32::new(0),
+            rparked: AtomicU32::new(0),
+            wparked: AtomicU32::new(0),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Blocks until shared access is acquired.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s & (WRITER | WR_WAIT) == 0 {
+                assert_ne!(s & READER_MASK, READER_MASK, "reader count overflow");
+                if self
+                    .state
+                    .compare_exchange_weak(s, s + READER, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return RwLockReadGuard {
+                        lock: self,
+                        _not_send: PhantomData,
+                    };
+                }
+                continue;
+            }
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            // Announce before the re-check (Dekker pairing with unlockers,
+            // see module docs), sleep only if still blocked.
+            self.rparked.fetch_add(1, Ordering::SeqCst);
+            let epoch = self.rcond.load(Ordering::Acquire);
+            if self.state.load(Ordering::SeqCst) & (WRITER | WR_WAIT) != 0 {
+                futex::wait(&self.rcond, epoch);
+            }
+            self.rparked.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Blocks until exclusive access is acquired.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s & !WR_WAIT == 0 {
+                // Free (possibly with other writers flagged): take it. This
+                // clears WR_WAIT; a parked writer that loses the race re-flags
+                // on its next loop, and our unlock always wakes `wcond`.
+                if self
+                    .state
+                    .compare_exchange_weak(s, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return RwLockWriteGuard {
+                        lock: self,
+                        _not_send: PhantomData,
+                    };
+                }
+                continue;
+            }
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            if s & WR_WAIT == 0 {
+                // Flag intent before parking so readers stop barging and the
+                // last reader out knows to wake us.
+                let _ = self.state.compare_exchange_weak(
+                    s,
+                    s | WR_WAIT,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                continue;
+            }
+            // Announce before the re-check (Dekker pairing with unlockers,
+            // see module docs). Park only while the lock is held by someone
+            // else AND our flag is still up — if a barging writer stole the
+            // flag it also holds the lock, and its unlock consults
+            // `wparked`, which we have already incremented.
+            self.wparked.fetch_add(1, Ordering::SeqCst);
+            let epoch = self.wcond.load(Ordering::Acquire);
+            let now = self.state.load(Ordering::SeqCst);
+            if now & !WR_WAIT != 0 && now & WR_WAIT != 0 {
+                futex::wait(&self.wcond, epoch);
+            }
+            self.wparked.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Attempts shared access without blocking. Barges past waiting
+    /// writers but never past a held write lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s & WRITER != 0 {
+                return None;
+            }
+            assert_ne!(s & READER_MASK, READER_MASK, "reader count overflow");
+            if self
+                .state
+                .compare_exchange_weak(s, s + READER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(RwLockReadGuard {
+                    lock: self,
+                    _not_send: PhantomData,
+                });
+            }
+        }
+    }
+
+    /// Attempts exclusive access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s & !WR_WAIT != 0 {
+                return None;
+            }
+            if self
+                .state
+                .compare_exchange_weak(s, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(RwLockWriteGuard {
+                    lock: self,
+                    _not_send: PhantomData,
+                });
+            }
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        // SAFETY: &mut self guarantees no guards exist.
+        unsafe { &mut *self.data.get() }
+    }
+
+    fn unlock_read(&self) {
+        let prev = self.state.fetch_sub(READER, Ordering::SeqCst);
+        debug_assert!(prev & READER_MASK >= 1, "read unlock without readers");
+        if prev & READER_MASK == 1 && self.wparked.load(Ordering::SeqCst) > 0 {
+            // Last reader out with a writer parked: hand off. A writer that
+            // flagged WR_WAIT but has not yet announced itself in `wparked`
+            // re-checks `state` after announcing and sees the lock free.
+            self.wcond.fetch_add(1, Ordering::Release);
+            futex::wake_one(&self.wcond);
+        }
+    }
+
+    fn unlock_write(&self) {
+        let prev = self.state.fetch_and(!WRITER, Ordering::SeqCst);
+        debug_assert!(prev & WRITER != 0, "write unlock without writer");
+        // Wake only announced sleepers (uncontended unlock: no syscalls).
+        // The epoch bumps make a sleeper between its state re-check and its
+        // futex compare re-validate instead of sleeping through this unlock.
+        if self.wparked.load(Ordering::SeqCst) > 0 {
+            self.wcond.fetch_add(1, Ordering::Release);
+            futex::wake_one(&self.wcond);
+        }
+        // Wake readers only once no writer is flagged: with WR_WAIT still
+        // set (more writers parked behind us), woken readers would re-check,
+        // see the flag and re-park — a thundering herd per unlock in a
+        // writer drain. The drain's last writer unlocks with the flag clear
+        // and releases the readers then.
+        if prev & WR_WAIT == 0 && self.rparked.load(Ordering::SeqCst) > 0 {
+            self.rcond.fetch_add(1, Ordering::Release);
+            futex::wake_all(&self.rcond);
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(guard) => f.debug_tuple("RwLock").field(&&*guard).finish(),
+            None => f.write_str("RwLock(<write-locked>)"),
+        }
+    }
+}
+
+/// Shared RAII guard for [`RwLock`]; releases on drop.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+// SAFETY: sharing a read guard only shares &T.
+unsafe impl<T: ?Sized + Sync> Sync for RwLockReadGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: read guards exclude writers.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_read();
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Exclusive RAII guard for [`RwLock`]; releases on drop.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+// SAFETY: sharing a write guard only shares &T.
+unsafe impl<T: ?Sized + Sync> Sync for RwLockWriteGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the write guard witnesses exclusive access.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above; &mut self prevents aliased derefs.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_write();
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn shared_then_exclusive() {
+        let l = RwLock::new(vec![1, 2]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(a.len() + b.len(), 4);
+        }
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+        assert_eq!(l.into_inner().len(), 3);
+    }
+
+    #[test]
+    fn try_variants_respect_holders() {
+        let l = RwLock::new(0u32);
+        let r = l.read();
+        assert!(l.try_read().is_some(), "readers share");
+        assert!(l.try_write().is_none(), "reader blocks writer");
+        drop(r);
+        let w = l.try_write().unwrap();
+        assert!(l.try_read().is_none(), "writer blocks readers");
+        assert!(l.try_write().is_none());
+        drop(w);
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn waiting_writer_blocks_new_readers() {
+        let l = Arc::new(RwLock::new(0u32));
+        let reader = l.read();
+        let writer = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                *l.write() += 1;
+            })
+        };
+        // Wait until the writer has flagged WR_WAIT.
+        let mut tries = 0;
+        while l.state.load(Ordering::Relaxed) & WR_WAIT == 0 && tries < 2000 {
+            std::thread::sleep(Duration::from_millis(1));
+            tries += 1;
+        }
+        assert!(
+            l.state.load(Ordering::Relaxed) & WR_WAIT != 0,
+            "writer must flag its wait"
+        );
+        // read() must now queue behind the writer, not barge.
+        let late_reader = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || *l.read())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            !late_reader.is_finished(),
+            "late reader parked behind writer"
+        );
+        drop(reader);
+        writer.join().unwrap();
+        assert_eq!(late_reader.join().unwrap(), 1, "sees the write");
+        assert_eq!(l.state.load(Ordering::Relaxed), 0, "fully released");
+    }
+
+    #[test]
+    fn mixed_churn_stays_consistent() {
+        // Writers append a monotone counter; readers assert the vector is a
+        // strictly increasing prefix. Catches lost wakeups (deadlock) and
+        // exclusion bugs (torn vector).
+        let l = Arc::new(RwLock::new(Vec::<u32>::new()));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let mut v = l.write();
+                        let next = v.last().copied().unwrap_or(0) + 1;
+                        v.push(next);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let v = l.read();
+                        assert!(v.windows(2).all(|w| w[0] < w[1]), "monotone under lock");
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        assert_eq!(l.read().len(), 1000);
+    }
+}
