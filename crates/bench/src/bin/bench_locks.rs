@@ -26,114 +26,13 @@ use std::time::{Duration, Instant};
 
 use parking_lot::lock_api::RawMutex as _;
 use parking_lot::{RawMutex, SpinRawMutex};
+use shrink_bench::perf::{context_switches, with_cpu, with_cpu_and_switches, write_json, Record};
 use shrink_bench::{shape, BenchOpts};
 use shrink_core::{Pool, SerialLock, SerialWait};
 use shrink_stm::{ThreadId, TmRuntime, WaitPolicy};
 use shrink_workloads::harness::run_throughput;
 use shrink_workloads::rbtree::RbTreeWorkload;
 use shrink_workloads::TxWorkload;
-
-/// One measurement row of the ledger.
-struct Record {
-    name: String,
-    threads: usize,
-    /// Lock acquisitions (or commits) per second.
-    ops_per_s: f64,
-    /// Nanoseconds per operation (uncontended rows only).
-    ns_per_op: Option<f64>,
-    /// Process CPU seconds consumed per wall second during the window
-    /// (utime+stime delta; `None` off-Linux). 1.0 = one core pegged.
-    cpu_util: Option<f64>,
-    /// Progress of a co-running plain compute thread (iterations/s), the
-    /// core-count-independent CPU-burn signal: spinning waiters steal its
-    /// quanta, parked waiters leave them to it (convoy rows only).
-    victim_ops_per_s: Option<f64>,
-    /// Context switches per operation — the scheduler tax. Spin-then-yield
-    /// waiting pays a voluntary switch per poll round even on a saturated
-    /// single core, where `cpu_util` cannot discriminate.
-    ctxt_per_op: Option<f64>,
-    wall_s: f64,
-}
-
-/// utime+stime of this process, in seconds, from `/proc/self/stat`.
-/// USER_HZ is 100 on every Linux configuration this repo targets.
-fn cpu_seconds() -> Option<f64> {
-    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
-    // Fields after the parenthesized comm (which may contain spaces):
-    // state ppid pgrp session tty_nr tpgid flags minflt cminflt majflt
-    // cmajflt utime stime ...  → utime/stime are at indices 11/12.
-    let after = &stat[stat.rfind(')')? + 2..];
-    let fields: Vec<&str> = after.split_whitespace().collect();
-    let utime: u64 = fields.get(11)?.parse().ok()?;
-    let stime: u64 = fields.get(12)?.parse().ok()?;
-    Some((utime + stime) as f64 / 100.0)
-}
-
-/// Context switches (voluntary + involuntary) summed over every thread of
-/// this process. Spin-then-yield waiting pays one voluntary switch per poll
-/// round — the scheduler tax that stays visible even when a single core is
-/// saturated either way. Threads that already exited are not counted, so
-/// call this while workers are still alive.
-fn context_switches() -> Option<u64> {
-    let mut total = 0u64;
-    for task in std::fs::read_dir("/proc/self/task").ok()? {
-        let status = std::fs::read_to_string(task.ok()?.path().join("status")).ok()?;
-        for line in status.lines() {
-            if line.starts_with("voluntary_ctxt_switches")
-                || line.starts_with("nonvoluntary_ctxt_switches")
-            {
-                total += line
-                    .rsplit_once('\t')
-                    .and_then(|(_, v)| v.trim().parse::<u64>().ok())
-                    .unwrap_or(0);
-            }
-        }
-    }
-    Some(total)
-}
-
-/// Measures wall time and CPU burn around `f`.
-fn with_cpu<R>(f: impl FnOnce() -> R) -> (R, f64, Option<f64>) {
-    let cpu_before = cpu_seconds();
-    let start = Instant::now();
-    let result = f();
-    let wall = start.elapsed().as_secs_f64();
-    let cpu = match (cpu_before, cpu_seconds()) {
-        (Some(a), Some(b)) => Some(((b - a) / wall.max(1e-9)).max(0.0)),
-        _ => None,
-    };
-    (result, wall, cpu)
-}
-
-/// Like [`with_cpu`], but also reports the context-switch delta. `f` joins
-/// its own worker threads (whose counters disappear with them), so a
-/// sampler thread polls `/proc/self/task` every 10 ms and the last total
-/// observed while the workers were alive is used.
-fn with_cpu_and_switches<R>(f: impl FnOnce() -> R) -> (R, f64, Option<f64>, Option<u64>) {
-    let baseline = context_switches();
-    let stop = Arc::new(AtomicBool::new(false));
-    let last = Arc::new(AtomicU64::new(0));
-    let sampler = {
-        let stop = Arc::clone(&stop);
-        let last = Arc::clone(&last);
-        std::thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
-                if let Some(total) = context_switches() {
-                    // Keep the maximum: a sample taken after `f` joined its
-                    // workers no longer sees their counters and would
-                    // otherwise collapse the delta to ~zero.
-                    last.fetch_max(total, Ordering::Relaxed);
-                }
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        })
-    };
-    let (result, wall, cpu) = with_cpu(f);
-    stop.store(true, Ordering::Relaxed);
-    sampler.join().unwrap();
-    let switches = baseline.map(|base| last.load(Ordering::Relaxed).saturating_sub(base));
-    (result, wall, cpu, switches)
-}
 
 /// Guardless lock/unlock interface the convoys are generic over.
 trait Lockable: Send + Sync + 'static {
@@ -184,6 +83,7 @@ fn uncontended(name: &str, iters: u64, lock: &dyn Lockable, records: &mut Vec<Re
         cpu_util: None,
         victim_ops_per_s: None,
         ctxt_per_op: None,
+        wasted_per_op: None,
         wall_s: wall,
     });
 }
@@ -286,6 +186,7 @@ fn convoy(
         cpu_util: cpu,
         victim_ops_per_s: Some(victim_ops_per_s),
         ctxt_per_op,
+        wasted_per_op: None,
         wall_s: wall,
     });
     ConvoyOutcome {
@@ -365,6 +266,7 @@ fn overload_stm(
         cpu_util: cpu,
         victim_ops_per_s: None,
         ctxt_per_op: ctxt_per_commit,
+        wasted_per_op: None,
         wall_s: wall,
     });
     OverloadOutcome {
@@ -372,44 +274,6 @@ fn overload_stm(
         cpu_us_per_commit,
         ctxt_per_commit,
     }
-}
-
-/// Hand-rolled JSON: the ledger must not depend on a serde vendored stub.
-fn write_json(path: &str, quick: bool, records: &[Record]) {
-    fn num(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v:.3}")
-        } else {
-            "null".into()
-        }
-    }
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"locks\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str(&format!(
-        "  \"host\": {{\"cores\": {}, \"os\": \"{}\", \"arch\": \"{}\"}},\n",
-        std::thread::available_parallelism().map_or(0, |n| n.get()),
-        std::env::consts::OS,
-        std::env::consts::ARCH
-    ));
-    out.push_str("  \"results\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"threads\": {}, \"ops_per_s\": {}, \"ns_per_op\": {}, \"cpu_util\": {}, \"victim_ops_per_s\": {}, \"ctxt_per_op\": {}, \"wall_s\": {}}}{}\n",
-            r.name,
-            r.threads,
-            num(r.ops_per_s),
-            r.ns_per_op.map_or("null".into(), num),
-            r.cpu_util.map_or("null".into(), num),
-            r.victim_ops_per_s.map_or("null".into(), num),
-            r.ctxt_per_op.map_or("null".into(), |v| format!("{v:.6}")),
-            num(r.wall_s),
-            if i + 1 == records.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).expect("write perf ledger");
-    println!("# ledger written to {path}");
 }
 
 fn main() {
@@ -579,5 +443,5 @@ fn main() {
         }
     }
 
-    write_json("BENCH_locks.json", opts.quick, &records);
+    write_json("BENCH_locks.json", "locks", opts.quick, &records);
 }

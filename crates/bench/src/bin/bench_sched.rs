@@ -1,0 +1,409 @@
+//! Scheduler epoch-wait micro benchmarks: the parked epoch futex behind
+//! `Serializer` against the `yield_now` poll loop it replaced.
+//!
+//! Three layers (DESIGN.md §8.5):
+//!
+//! 1. `wake_latency/*` — one waiter blocked on an `EventCount`, one waker
+//!    advancing it: median ns from the advance to the waiter running again,
+//!    parked vs yield-poll;
+//! 2. `wasted_wakeups/*` — wake syscalls that released nobody, on a quiet
+//!    advancer (must be zero: the waiter bit keeps idle advances
+//!    syscall-free) and under waiter churn;
+//! 3. `serializer_convoy/*` — the paper's overload regime: 2/8/32 threads
+//!    on a write-heavy red-black tree under the `Serializer` scheduler,
+//!    whose victims wait for their enemy's attempt epoch either parked
+//!    (default) or yield-polling (`SerialWait::SpinYield` baseline).
+//!    Reports commit throughput **and the context-switch tax** — every
+//!    yield-poll round is a voluntary switch, visible even on one
+//!    saturated core.
+//!
+//! Results are printed as a table and written to `BENCH_sched.json` in the
+//! current directory, the scheduler-side sibling of `BENCH_locks.json`
+//! (CI's `bench-smoke` job regenerates and uploads both on every PR).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::EventCount;
+use shrink_bench::perf::{with_cpu_and_switches, write_json, Record};
+use shrink_bench::{shape, BenchOpts};
+use shrink_core::{SerialWait, Serializer, SerializerConfig, SerializerWaitStats};
+use shrink_stm::{TmRuntime, WaitPolicy};
+use shrink_workloads::harness::run_throughput;
+use shrink_workloads::rbtree::RbTreeWorkload;
+use shrink_workloads::TxWorkload;
+
+/// Median of a sample set (ns).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Wake-latency probe: a waiter blocks on the event count (parked or
+/// yield-polling), the main thread advances it and times how long until the
+/// waiter acknowledges. The handshake is explicit — the waiter samples its
+/// observed version *before* publishing "armed", so the waker can never
+/// advance past a version the waiter has not yet latched.
+fn wake_latency(name: &str, parked: bool, rounds: u32, records: &mut Vec<Record>) -> f64 {
+    let ec = Arc::new(EventCount::new());
+    // 0 = idle, 1 = go (waker→waiter), 2 = armed (waiter→waker),
+    // 3 = woken-ack (waiter→waker), 4 = quit.
+    let state = Arc::new(AtomicU32::new(0));
+    let waiter = {
+        let ec = Arc::clone(&ec);
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || loop {
+            match state.load(Ordering::SeqCst) {
+                4 => return,
+                1 => {
+                    let observed = ec.version();
+                    state.store(2, Ordering::SeqCst);
+                    if parked {
+                        ec.wait_while_eq(observed, None);
+                    } else {
+                        while ec.version() == observed {
+                            std::thread::yield_now();
+                        }
+                    }
+                    state.store(3, Ordering::SeqCst);
+                }
+                _ => std::thread::yield_now(),
+            }
+        })
+    };
+    let mut samples = Vec::with_capacity(rounds as usize);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        state.store(1, Ordering::SeqCst);
+        while state.load(Ordering::SeqCst) != 2 {
+            std::thread::yield_now();
+        }
+        if parked {
+            // Strengthen the handshake: wait until the waiter is accounted
+            // in the waiter count, i.e. provably inside the futex path.
+            while ec.waiters() == 0 {
+                std::thread::yield_now();
+            }
+        }
+        let t0 = Instant::now();
+        ec.advance();
+        // Yield while awaiting the ack: on a single core a spinning waker
+        // would hog the timeslice the woken waiter needs, and the probe
+        // would measure preemption granularity instead of wake latency.
+        while state.load(Ordering::SeqCst) != 3 {
+            std::thread::yield_now();
+        }
+        samples.push(t0.elapsed().as_nanos() as f64);
+        state.store(0, Ordering::SeqCst);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    state.store(4, Ordering::SeqCst);
+    waiter.join().unwrap();
+    let med = median(&mut samples);
+    println!(
+        "{:>14}/1  {name:>12}  {med:>10.0} ns wake latency (median of {rounds})",
+        "wake_latency"
+    );
+    records.push(Record {
+        name: format!("wake_latency/1/{name}"),
+        threads: 1,
+        ops_per_s: rounds as f64 / wall,
+        ns_per_op: Some(med),
+        cpu_util: None,
+        victim_ops_per_s: None,
+        ctxt_per_op: None,
+        wasted_per_op: None,
+        wall_s: wall,
+    });
+    med
+}
+
+/// Quiet-advancer probe: advancing with no waiters must never issue a wake
+/// syscall (the waiter bit is clear). Returns wasted wakes per advance.
+fn wasted_quiet(advances: u64, records: &mut Vec<Record>) -> f64 {
+    let ec = EventCount::new();
+    let mut issued = 0u64;
+    let mut wasted = 0u64;
+    let start = Instant::now();
+    for _ in 0..advances {
+        let adv = ec.advance();
+        if adv.wake_issued {
+            issued += 1;
+            if adv.woken == 0 {
+                wasted += 1;
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let per_op = wasted as f64 / advances as f64;
+    println!(
+        "{:>14}/1  {:>12}  {:>12.0} advances/s  {issued} wakes issued, {wasted} wasted",
+        "wasted_wakeups",
+        "quiet",
+        advances as f64 / wall
+    );
+    records.push(Record {
+        name: "wasted_wakeups/1/quiet".into(),
+        threads: 1,
+        ops_per_s: advances as f64 / wall,
+        ns_per_op: None,
+        cpu_util: None,
+        victim_ops_per_s: None,
+        ctxt_per_op: None,
+        wasted_per_op: Some(per_op),
+        wall_s: wall,
+    });
+    per_op
+}
+
+/// Churn probe: waiters cycle short bounded waits while the main thread
+/// advances; wakes that release nobody (the waiter left on its deadline in
+/// the same instant) are the wasted fraction the waiter bit design trades
+/// against a tracking structure. Returns wasted wakes per advance.
+fn wasted_churn(waiters: usize, advances: u64, records: &mut Vec<Record>) -> f64 {
+    let ec = Arc::new(EventCount::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..waiters)
+        .map(|_| {
+            let ec = Arc::clone(&ec);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let observed = ec.version();
+                    ec.wait_while_eq(observed, Some(Instant::now() + Duration::from_micros(200)));
+                }
+            })
+        })
+        .collect();
+    let mut issued = 0u64;
+    let mut wasted = 0u64;
+    let mut woken = 0u64;
+    let start = Instant::now();
+    for i in 0..advances {
+        let adv = ec.advance();
+        if adv.wake_issued {
+            issued += 1;
+            woken += adv.woken as u64;
+            if adv.woken == 0 {
+                wasted += 1;
+            }
+        }
+        if i % 64 == 0 {
+            // Let waiters re-arm so the probe exercises real parking.
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    // Release any waiter parked on the final version.
+    while handles.iter().any(|h| !h.is_finished()) {
+        ec.advance();
+        std::thread::yield_now();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let per_op = wasted as f64 / advances as f64;
+    println!(
+        "{:>14}/{waiters}  {:>12}  {:>12.0} advances/s  {issued} wakes issued, {woken} woken, \
+         {wasted} wasted",
+        "wasted_wakeups",
+        "churn",
+        advances as f64 / wall
+    );
+    records.push(Record {
+        name: format!("wasted_wakeups/{waiters}/churn"),
+        threads: waiters,
+        ops_per_s: advances as f64 / wall,
+        ns_per_op: None,
+        cpu_util: None,
+        victim_ops_per_s: None,
+        ctxt_per_op: None,
+        wasted_per_op: Some(per_op),
+        wall_s: wall,
+    });
+    per_op
+}
+
+/// Serializer-convoy outcome (median-of-`repeats` by throughput).
+struct ConvoyOutcome {
+    commits_per_s: f64,
+    ctxt_per_commit: Option<f64>,
+    cpu_util: Option<f64>,
+    wait_stats: SerializerWaitStats,
+}
+
+/// One repeat: (commit/s, cpu, wall, cs/commit, wait stats).
+type ConvoyRun = (f64, Option<f64>, f64, Option<f64>, SerializerWaitStats);
+
+/// Overloaded serializer convoy: write-heavy rbtree, `Serializer`
+/// scheduler, victims waiting parked or yield-polling. Fresh runtime +
+/// workload per repeat; the median run (by throughput) is reported.
+fn serializer_convoy(
+    name: &str,
+    wait: SerialWait,
+    threads: usize,
+    repeats: usize,
+    opts: &BenchOpts,
+    records: &mut Vec<Record>,
+) -> ConvoyOutcome {
+    let mut runs: Vec<ConvoyRun> = (0..repeats)
+        .map(|_| {
+            let serializer = Arc::new(Serializer::new(SerializerConfig {
+                wait,
+                ..SerializerConfig::default()
+            }));
+            let rt = TmRuntime::builder()
+                .wait_policy(WaitPolicy::Preemptive)
+                .scheduler_arc(Arc::clone(&serializer) as _)
+                .build();
+            let workload: Arc<dyn TxWorkload> = Arc::new(RbTreeWorkload::new(&rt, 16, 100));
+            let config = opts.run_config(threads);
+            let (outcome, wall, cpu, switches) =
+                with_cpu_and_switches(|| run_throughput(&rt, &workload, &config));
+            let ctxt_per_commit = switches
+                .filter(|_| outcome.commits > 0)
+                .map(|s| s as f64 / outcome.commits as f64);
+            (
+                outcome.throughput(),
+                cpu,
+                wall,
+                ctxt_per_commit,
+                serializer.wait_stats(),
+            )
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (commits_per_s, cpu, wall, ctxt_per_commit, wait_stats) = runs[runs.len() / 2];
+    let cpu_str = cpu.map_or("     n/a".into(), |c| format!("{c:>5.2} cpu"));
+    let cs_str = ctxt_per_commit.map_or("     n/a".into(), |c| format!("{c:>8.4} cs/commit"));
+    println!(
+        "{:>14}/{threads:<2} {name:>12}  {commits_per_s:>10.0} commit/s  {cpu_str}  {cs_str}  \
+         (waits: {} parked, {} advanced, {} timed out, {} absent, {} yield-polls)",
+        "ser_convoy",
+        wait_stats.parked_waits,
+        wait_stats.advanced,
+        wait_stats.timed_out,
+        wait_stats.absent_skips,
+        wait_stats.yield_polls,
+    );
+    records.push(Record {
+        name: format!("serializer_convoy/{threads}/{name}"),
+        threads,
+        ops_per_s: commits_per_s,
+        ns_per_op: None,
+        cpu_util: cpu,
+        victim_ops_per_s: None,
+        ctxt_per_op: ctxt_per_commit,
+        wasted_per_op: None,
+        wall_s: wall,
+    });
+    ConvoyOutcome {
+        commits_per_s,
+        ctxt_per_commit,
+        cpu_util: cpu,
+        wait_stats,
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut records = Vec::new();
+
+    println!("# bench_sched — parked epoch futex vs yield-poll Serializer baseline");
+    println!("# wake latency (EventCount, 1 waiter × 1 waker)");
+    let rounds = if opts.quick { 300 } else { 1500 };
+    let parked_lat = wake_latency("parked", true, rounds, &mut records);
+    let poll_lat = wake_latency("yield_poll", false, rounds, &mut records);
+
+    println!("# wasted wakeups (wake syscalls that released nobody)");
+    let advances = if opts.quick { 200_000 } else { 1_000_000 };
+    let quiet_wasted = wasted_quiet(advances, &mut records);
+    let churn_advances = if opts.quick { 20_000 } else { 100_000 };
+    wasted_churn(2, churn_advances, &mut records);
+
+    println!("# serializer convoys (write-heavy rbtree, threads >> cores)");
+    let sweep: &[usize] = &[2, 8, 32];
+    let repeats = if opts.quick { 3 } else { 5 };
+    let mut pairs = Vec::new();
+    for &threads in sweep {
+        let poll = serializer_convoy(
+            "yield_poll",
+            SerialWait::SpinYield,
+            threads,
+            repeats,
+            &opts,
+            &mut records,
+        );
+        let parked = serializer_convoy(
+            "parked",
+            SerialWait::Parked,
+            threads,
+            repeats,
+            &opts,
+            &mut records,
+        );
+        pairs.push((threads, poll, parked));
+    }
+
+    // Qualitative claims (see DESIGN.md §5.3 for the shape grammar).
+    shape(
+        "quiet advances issue zero wasted wakeups (waiter bit keeps them syscall-free)",
+        quiet_wasted == 0.0,
+    );
+    shape(
+        "parked wake latency beats a yield-poll round trip or stays within 4× of it",
+        parked_lat.is_finite() && poll_lat.is_finite() && parked_lat <= 4.0 * poll_lat,
+    );
+    for (threads, poll, parked) in &pairs {
+        shape(
+            &format!(
+                "serializer convoy ({threads} threads): parked victims never yield-poll \
+                 (wait-op counter)"
+            ),
+            parked.wait_stats.yield_polls == 0,
+        );
+        if *threads < 8 {
+            continue;
+        }
+        shape(
+            &format!(
+                "serializer convoy ({threads} threads): parked commit throughput no worse \
+                 (≥ 0.8× yield-poll)"
+            ),
+            parked.commits_per_s >= 0.8 * poll.commits_per_s,
+        );
+        if let (Some(p), Some(y)) = (parked.ctxt_per_commit, poll.ctxt_per_commit) {
+            shape(
+                &format!(
+                    "serializer convoy ({threads} threads): parked pays a lower scheduler tax \
+                     (context switches per commit)"
+                ),
+                p < y,
+            );
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores > 1 {
+            if let (Some(p), Some(y)) = (parked.cpu_util, poll.cpu_util) {
+                shape(
+                    &format!(
+                        "serializer convoy ({threads} threads): parked burns less CPU than \
+                         yield-poll"
+                    ),
+                    p < y,
+                );
+            }
+        }
+    }
+
+    write_json("BENCH_sched.json", "sched", opts.quick, &records);
+}

@@ -16,6 +16,7 @@
 //! numbers are not expected to match the paper's 2009 testbed.
 
 pub mod figures;
+pub mod perf;
 
 use std::sync::Arc;
 use std::time::Duration;

@@ -48,6 +48,6 @@ pub use bloom::{BloomFilter, BloomRing};
 pub use kind::SchedulerKind;
 pub use pool::Pool;
 pub use serial_lock::{SerialLock, SerialWait};
-pub use serializer::{Serializer, SerializerConfig};
+pub use serializer::{Serializer, SerializerConfig, SerializerWaitStats};
 pub use shrink::{PredictionStats, Shrink, ShrinkConfig};
 pub use slots::ThreadSlots;

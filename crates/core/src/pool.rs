@@ -96,12 +96,13 @@ impl TxScheduler for Pool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shrink_stm::{AbortReason, StaticWrites, ThreadId};
+    use shrink_stm::{AbortReason, NoEpochs, StaticWrites, ThreadId};
 
     fn ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
         SchedCtx {
             thread: ThreadId::from_u16(thread),
             visible: oracle,
+            epochs: &NoEpochs,
         }
     }
 

@@ -10,41 +10,105 @@
 //! CAR-STM implements this by physically moving the transaction to the
 //! enemy's per-core queue. Our runtime binds transactions to their threads,
 //! so we keep the schedule-after ordering instead: the aborted thread waits
-//! (bounded, yielding) for the enemy's attempt epoch to advance. The bound
-//! protects against enemies that have gone idle, which the queue-based
-//! formulation resolves trivially but a wait-based one must time out on.
+//! for the enemy's *attempt epoch* to advance past the value observed while
+//! the conflict was live.
+//!
+//! Two properties make the wait correct and cheap (DESIGN.md §8.5):
+//!
+//! * **The epoch is sampled at conflict-detection time**, in the STM's
+//!   conflict path, and carried inside the [`Abort`]. Sampling it any later
+//!   (this scheduler's `on_abort` runs after rollback and log extraction)
+//!   races a fast enemy: the enemy may already have committed the
+//!   conflicting transaction, so a late sample would make the victim
+//!   serialize behind the enemy's *next* transaction — the mis-prediction
+//!   cost that makes waiting lose to restarting. An abort whose conflict
+//!   was already over at detection time carries no epoch, and no wait
+//!   happens at all.
+//! * **The wait parks on an epoch futex** ([`EventCount`] per thread,
+//!   advanced bump-and-wake by the runtime when an attempt finishes, or
+//!   when the thread exits). The victim sleeps in the kernel and is woken
+//!   by the enemy's commit/abort; the previous bounded `yield_now` poll
+//!   loop survives only as the [`SerialWait::SpinYield`] benchmark
+//!   baseline (`bench_sched`, `BENCH_sched.json`). The deadline bound
+//!   against enemies that have gone idle is a wall-clock duration
+//!   ([`SerializerConfig::max_wait`]), not a yield count, and an enemy
+//!   whose epoch slot is absent (never registered, or its thread exited)
+//!   is skipped outright instead of being waited on in vain.
+//!
+//! [`EventCount`]: parking_lot::EventCount
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use shrink_stm::{Abort, SchedCtx, ThreadId, TxScheduler, VarId};
+use shrink_stm::{Abort, EpochWaitOutcome, SchedCtx, ThreadId, TxScheduler, VarId};
 
+use crate::serial_lock::SerialWait;
 use crate::slots::ThreadSlots;
 
 /// Tuning parameters of [`Serializer`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SerializerConfig {
-    /// Maximum yields spent waiting for the enemy to finish before running
-    /// anyway.
+    /// How the victim waits for its enemy to finish: parked on the epoch
+    /// futex (default), or the legacy bounded yield-poll loop kept as the
+    /// benchmark baseline.
+    pub wait: SerialWait,
+    /// Longest a [`SerialWait::Parked`] victim sleeps before running anyway
+    /// — the bound against enemies that have gone idle.
+    pub max_wait: Duration,
+    /// Maximum yields of the [`SerialWait::SpinYield`] baseline before
+    /// running anyway.
     pub max_wait_yields: u32,
 }
 
 impl Default for SerializerConfig {
     fn default() -> Self {
         SerializerConfig {
+            wait: SerialWait::Parked,
+            // Generous against real transactions (µs of work) while keeping
+            // the idle-enemy stall far below the old yield bound's
+            // worst case on a loaded box.
+            max_wait: Duration::from_millis(2),
             max_wait_yields: 1 << 14,
         }
     }
 }
 
+/// Wait-op counters of a [`Serializer`] — how `before_start` actually
+/// waited. The acceptance bar for the epoch futex lives here: on the parked
+/// path `yield_polls` stays 0 no matter how long victims wait.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SerializerWaitStats {
+    /// Parked epoch waits issued (each may sleep up to `max_wait`).
+    pub parked_waits: u64,
+    /// Waits that ended because the enemy's epoch advanced (including
+    /// instantly, when the conflicting attempt was already over).
+    pub advanced: u64,
+    /// Waits that hit the idle-enemy bound (deadline or yield budget).
+    pub timed_out: u64,
+    /// Waits skipped because the enemy had no live epoch slot (never
+    /// registered, or its thread exited).
+    pub absent_skips: u64,
+    /// `yield_now` calls spent polling — only the `SpinYield` baseline ever
+    /// increments this.
+    pub yield_polls: u64,
+}
+
+#[derive(Debug, Default)]
+struct WaitCounters {
+    parked_waits: AtomicU64,
+    advanced: AtomicU64,
+    timed_out: AtomicU64,
+    absent_skips: AtomicU64,
+    yield_polls: AtomicU64,
+}
+
 #[derive(Debug)]
 struct ThreadState {
-    /// Incremented whenever this thread finishes an attempt (commit or
-    /// abort).
-    epoch: AtomicU64,
-    /// Set by `on_abort`: who to wait for, and the epoch observed then.
-    pending: Mutex<Option<(ThreadId, u64)>>,
+    /// Set by `on_abort`: who to wait for, and the enemy's attempt epoch
+    /// observed *at conflict time* (carried by the [`Abort`]).
+    pending: Mutex<Option<(ThreadId, u32)>>,
 }
 
 /// The CAR-STM-style Serializer scheduler.
@@ -63,6 +127,7 @@ struct ThreadState {
 pub struct Serializer {
     config: SerializerConfig,
     threads: ThreadSlots<ThreadState>,
+    counters: WaitCounters,
 }
 
 impl Serializer {
@@ -71,9 +136,9 @@ impl Serializer {
         Serializer {
             config,
             threads: ThreadSlots::new(|| ThreadState {
-                epoch: AtomicU64::new(0),
                 pending: Mutex::new(None),
             }),
+            counters: WaitCounters::default(),
         }
     }
 
@@ -82,11 +147,55 @@ impl Serializer {
         &self.config
     }
 
-    fn epoch_of(&self, thread: ThreadId) -> u64 {
-        self.threads
-            .try_get(thread)
-            .map(|s| s.epoch.load(Ordering::Acquire))
-            .unwrap_or(0)
+    /// Aggregate wait-op counters across all threads.
+    pub fn wait_stats(&self) -> SerializerWaitStats {
+        SerializerWaitStats {
+            parked_waits: self.counters.parked_waits.load(Ordering::Relaxed),
+            advanced: self.counters.advanced.load(Ordering::Relaxed),
+            timed_out: self.counters.timed_out.load(Ordering::Relaxed),
+            absent_skips: self.counters.absent_skips.load(Ordering::Relaxed),
+            yield_polls: self.counters.yield_polls.load(Ordering::Relaxed),
+        }
+    }
+
+    fn wait_parked(&self, ctx: &SchedCtx<'_>, enemy: ThreadId, observed: u32) {
+        let deadline = Instant::now() + self.config.max_wait;
+        match ctx.epochs.wait_epoch_change(enemy, observed, deadline) {
+            EpochWaitOutcome::Advanced => {
+                self.counters.parked_waits.fetch_add(1, Ordering::Relaxed);
+                self.counters.advanced.fetch_add(1, Ordering::Relaxed);
+            }
+            EpochWaitOutcome::TimedOut => {
+                self.counters.parked_waits.fetch_add(1, Ordering::Relaxed);
+                self.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            }
+            // Not a wait op: the slot was dead on arrival, matching what
+            // the SpinYield path counts for the same situation.
+            EpochWaitOutcome::Absent => {
+                self.counters.absent_skips.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn wait_yield_poll(&self, ctx: &SchedCtx<'_>, enemy: ThreadId, observed: u32) {
+        let mut yields: u64 = 0;
+        let counter = loop {
+            match ctx.epochs.epoch_of(enemy) {
+                None => break &self.counters.absent_skips,
+                Some(e) if e != observed => break &self.counters.advanced,
+                Some(_) if yields >= self.config.max_wait_yields as u64 => {
+                    break &self.counters.timed_out;
+                }
+                Some(_) => {
+                    std::thread::yield_now();
+                    yields += 1;
+                }
+            }
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .yield_polls
+            .fetch_add(yields, Ordering::Relaxed);
     }
 }
 
@@ -94,6 +203,7 @@ impl fmt::Debug for Serializer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Serializer")
             .field("config", &self.config)
+            .field("wait_stats", &self.wait_stats())
             .finish()
     }
 }
@@ -102,28 +212,24 @@ impl TxScheduler for Serializer {
     fn before_start(&self, ctx: &SchedCtx<'_>) {
         let slot = self.threads.get(ctx.thread);
         let pending = slot.pending.lock().take();
-        if let Some((enemy, observed_epoch)) = pending {
-            let mut yields = 0;
-            while self.epoch_of(enemy) == observed_epoch && yields < self.config.max_wait_yields {
-                std::thread::yield_now();
-                yields += 1;
+        if let Some((enemy, observed)) = pending {
+            match self.config.wait {
+                SerialWait::Parked => self.wait_parked(ctx, enemy, observed),
+                SerialWait::SpinYield => self.wait_yield_poll(ctx, enemy, observed),
             }
         }
     }
 
-    fn on_commit(&self, ctx: &SchedCtx<'_>, _reads: &[VarId], _writes: &[VarId]) {
-        self.threads
-            .get(ctx.thread)
-            .epoch
-            .fetch_add(1, Ordering::AcqRel);
-    }
-
     fn on_abort(&self, ctx: &SchedCtx<'_>, abort: &Abort, _reads: &[VarId], _writes: &[VarId]) {
-        let slot = self.threads.get(ctx.thread);
-        slot.epoch.fetch_add(1, Ordering::AcqRel);
-        if let Some(enemy) = abort.enemy() {
+        // Schedule-after only when the conflict was *live* at detection
+        // time: the Abort then carries the enemy's attempt epoch sampled at
+        // that moment. An unstamped abort means the enemy had already
+        // finished the conflicting attempt (or was never identified) —
+        // there is nothing to wait for, and recording a later-sampled epoch
+        // would serialize the victim behind the enemy's next transaction.
+        if let (Some(enemy), Some(observed)) = (abort.enemy(), abort.enemy_epoch()) {
             if enemy != ctx.thread && enemy != ThreadId::NONE {
-                *slot.pending.lock() = Some((enemy, self.epoch_of(enemy)));
+                *self.threads.get(ctx.thread).pending.lock() = Some((enemy, observed));
             }
         }
     }
@@ -136,74 +242,214 @@ impl TxScheduler for Serializer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shrink_stm::{AbortReason, StaticWrites, VarId};
+    use shrink_stm::{AbortReason, AttemptEpochs, EpochTable, StaticWrites, VarId};
     use std::sync::Arc;
 
-    fn ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
+    fn ctx<'a>(thread: u16, oracle: &'a StaticWrites, epochs: &'a EpochTable) -> SchedCtx<'a> {
         SchedCtx {
             thread: ThreadId::from_u16(thread),
             visible: oracle,
+            epochs,
         }
+    }
+
+    /// An abort against `enemy`, stamped with its current epoch (i.e. the
+    /// conflict is live right now).
+    fn live_conflict(epochs: &EpochTable, enemy: ThreadId) -> Abort {
+        Abort::on_conflict(AbortReason::WriteConflict, VarId::from_u64(1), enemy)
+            .with_enemy_epoch(epochs.epoch_of(enemy).expect("enemy registered"))
     }
 
     #[test]
     fn abort_without_enemy_does_not_wait() {
         let s = Serializer::new(SerializerConfig::default());
         let oracle = StaticWrites::new();
-        let c = ctx(1, &oracle);
+        let epochs = EpochTable::new();
+        let c = ctx(1, &oracle, &epochs);
         s.before_start(&c);
         s.on_abort(&c, &Abort::new(AbortReason::ReadValidation), &[], &[]);
         // Must return immediately (no pending enemy).
         s.before_start(&c);
         s.on_commit(&c, &[], &[]);
+        assert_eq!(s.wait_stats(), SerializerWaitStats::default());
     }
 
     #[test]
-    fn waits_until_enemy_finishes() {
+    fn unstamped_conflict_does_not_wait() {
+        // The enemy is known but the Abort carries no conflict-time epoch:
+        // the conflicting attempt was already over, so waiting would target
+        // the enemy's *next* transaction. No pending wait may be recorded.
+        let s = Serializer::new(SerializerConfig {
+            // A wrongly recorded wait would stall the full bound and fail
+            // the elapsed assertion below.
+            max_wait: Duration::from_secs(60),
+            ..SerializerConfig::default()
+        });
+        let oracle = StaticWrites::new();
+        let epochs = EpochTable::new();
+        let enemy = ThreadId::from_u16(2);
+        epochs.ensure(enemy);
+        let c = ctx(1, &oracle, &epochs);
+        s.before_start(&c);
+        let abort = Abort::on_conflict(AbortReason::WriteConflict, VarId::from_u64(1), enemy);
+        s.on_abort(&c, &abort, &[], &[]);
+        let start = Instant::now();
+        s.before_start(&c);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(s.wait_stats().parked_waits, 0, "no wait op at all");
+    }
+
+    #[test]
+    fn waits_parked_until_enemy_finishes() {
         let s = Arc::new(Serializer::new(SerializerConfig {
-            max_wait_yields: u32::MAX,
+            max_wait: Duration::from_secs(60),
+            ..SerializerConfig::default()
         }));
         let oracle = StaticWrites::new();
-        let me = ctx(1, &oracle);
-        let enemy_id = ThreadId::from_u16(2);
+        let epochs = Arc::new(EpochTable::new());
+        let enemy = ThreadId::from_u16(2);
+        epochs.ensure(enemy);
 
-        // Touch the enemy slot so the epoch is observable, then record a
-        // conflict against it.
-        let _ = s.threads.get(enemy_id);
+        let me = ctx(1, &oracle, &epochs);
         s.before_start(&me);
-        let abort = Abort::on_conflict(AbortReason::WriteConflict, VarId::from_u64(1), enemy_id);
-        s.on_abort(&me, &abort, &[], &[]);
+        s.on_abort(&me, &live_conflict(&epochs, enemy), &[], &[]);
 
         let waiter = {
             let s = Arc::clone(&s);
+            let epochs = Arc::clone(&epochs);
             std::thread::spawn(move || {
                 let oracle = StaticWrites::new();
-                let me = ctx(1, &oracle);
-                // Blocks until the enemy's epoch advances.
+                let me = ctx(1, &oracle, &epochs);
+                // Parks until the enemy's epoch advances.
                 s.before_start(&me);
             })
         };
-        // Give the waiter a moment to start spinning, then finish the
-        // enemy's transaction.
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!waiter.is_finished(), "waiter must be blocked on the enemy");
-        let enemy_ctx = ctx(2, &oracle);
-        s.on_commit(&enemy_ctx, &[], &[]);
+        // Deterministic handshake: the waiter is provably parked on the
+        // enemy's epoch before we let the enemy finish — no sleep races.
+        while epochs.waiters_on(enemy) == 0 {
+            std::thread::yield_now();
+        }
+        assert!(!waiter.is_finished(), "waiter must be parked on the enemy");
+        epochs.bump(enemy);
         waiter.join().unwrap();
+
+        let stats = s.wait_stats();
+        assert_eq!(stats.parked_waits, 1);
+        assert_eq!(stats.advanced, 1);
+        assert_eq!(stats.timed_out, 0);
+        // The acceptance bar: the parked path never yield-polls.
+        assert_eq!(stats.yield_polls, 0, "parked wait must not yield-poll");
+    }
+
+    #[test]
+    fn fast_committing_enemy_is_not_waited_for() {
+        // Regression (stale-enemy-epoch bug): the enemy finishes the
+        // conflicting attempt *between* conflict detection and the victim's
+        // on_abort. The conflict-time epoch carried by the Abort is already
+        // stale by then, so before_start must return instantly instead of
+        // serializing the victim behind the enemy's next transaction.
+        let s = Serializer::new(SerializerConfig {
+            max_wait: Duration::from_secs(60),
+            ..SerializerConfig::default()
+        });
+        let oracle = StaticWrites::new();
+        let epochs = EpochTable::new();
+        let enemy = ThreadId::from_u16(2);
+        epochs.ensure(enemy);
+
+        let me = ctx(1, &oracle, &epochs);
+        s.before_start(&me);
+        let abort = live_conflict(&epochs, enemy);
+        // The fast enemy commits before the victim's abort bookkeeping runs.
+        epochs.bump(enemy);
+        s.on_abort(&me, &abort, &[], &[]);
+
+        let start = Instant::now();
+        s.before_start(&me);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "victim must not wait behind the enemy's next transaction"
+        );
+        let stats = s.wait_stats();
+        assert_eq!(stats.advanced, 1, "wait satisfied without sleeping");
+        assert_eq!(stats.yield_polls, 0);
+    }
+
+    #[test]
+    fn absent_enemy_is_skipped_not_stalled() {
+        // Regression (unregistered-enemy stall): an enemy with no live
+        // epoch slot will never advance; the old code recorded epoch 0 for
+        // it and burned the whole wait bound.
+        let s = Serializer::new(SerializerConfig {
+            max_wait: Duration::from_secs(60),
+            ..SerializerConfig::default()
+        });
+        let oracle = StaticWrites::new();
+        let epochs = EpochTable::new();
+        let ghost = ThreadId::from_u16(7); // never registered
+        let c = ctx(1, &oracle, &epochs);
+        s.before_start(&c);
+        let abort = Abort::on_conflict(AbortReason::WriteConflict, VarId::from_u64(1), ghost)
+            .with_enemy_epoch(0);
+        s.on_abort(&c, &abort, &[], &[]);
+        let start = Instant::now();
+        s.before_start(&c);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(s.wait_stats().absent_skips, 1);
     }
 
     #[test]
     fn bounded_wait_times_out_on_idle_enemy() {
-        let s = Serializer::new(SerializerConfig { max_wait_yields: 8 });
+        let max_wait = Duration::from_millis(20);
+        let s = Serializer::new(SerializerConfig {
+            max_wait,
+            ..SerializerConfig::default()
+        });
         let oracle = StaticWrites::new();
-        let me = ctx(1, &oracle);
-        let enemy_id = ThreadId::from_u16(2);
-        let _ = s.threads.get(enemy_id);
+        let epochs = EpochTable::new();
+        let enemy = ThreadId::from_u16(2);
+        epochs.ensure(enemy);
+        let me = ctx(1, &oracle, &epochs);
         s.before_start(&me);
-        let abort = Abort::on_conflict(AbortReason::WriteConflict, VarId::from_u64(1), enemy_id);
-        s.on_abort(&me, &abort, &[], &[]);
-        // The enemy never runs again; before_start must still return.
+        s.on_abort(&me, &live_conflict(&epochs, enemy), &[], &[]);
+        // The enemy never runs again; before_start must still return, and
+        // not before the deadline.
+        let start = Instant::now();
         s.before_start(&me);
+        assert!(start.elapsed() >= max_wait, "deadline must be honoured");
         s.on_commit(&me, &[], &[]);
+        let stats = s.wait_stats();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.yield_polls, 0);
+    }
+
+    #[test]
+    fn yield_poll_baseline_still_waits_and_counts_its_yields() {
+        let s = Serializer::new(SerializerConfig {
+            wait: SerialWait::SpinYield,
+            max_wait_yields: 8,
+            ..SerializerConfig::default()
+        });
+        let oracle = StaticWrites::new();
+        let epochs = EpochTable::new();
+        let enemy = ThreadId::from_u16(2);
+        epochs.ensure(enemy);
+        let me = ctx(1, &oracle, &epochs);
+        s.before_start(&me);
+        s.on_abort(&me, &live_conflict(&epochs, enemy), &[], &[]);
+        // Idle enemy: the baseline burns its yield budget, visibly.
+        s.before_start(&me);
+        let stats = s.wait_stats();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.yield_polls, 8, "baseline yields are accounted");
+        assert_eq!(stats.parked_waits, 0);
+
+        // And an absent enemy is skipped on the baseline path too.
+        let ghost = ThreadId::from_u16(9);
+        let abort = Abort::on_conflict(AbortReason::WriteConflict, VarId::from_u64(1), ghost)
+            .with_enemy_epoch(0);
+        s.on_abort(&me, &abort, &[], &[]);
+        s.before_start(&me);
+        assert_eq!(s.wait_stats().absent_skips, 1);
     }
 }

@@ -414,12 +414,13 @@ impl TxScheduler for Shrink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shrink_stm::{AbortReason, StaticWrites};
+    use shrink_stm::{AbortReason, NoEpochs, StaticWrites};
 
     fn ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
         SchedCtx {
             thread: ThreadId::from_u16(thread),
             visible: oracle,
+            epochs: &NoEpochs,
         }
     }
 

@@ -24,7 +24,16 @@ const PARK_NAP_EVERY: u32 = 64;
 /// Nap length once a parked waiter starts sleeping. Short enough that a
 /// committing stripe owner (microseconds of work) is never over-waited by
 /// much; long enough to actually leave the run queue.
-const PARK_NAP: Duration = Duration::from_micros(20);
+pub(crate) const PARK_NAP: Duration = Duration::from_micros(20);
+
+/// True when [`pause`] under [`WaitPolicy::Parked`] would serve this
+/// iteration as a nap rather than a spin or yield. The bounded conflict
+/// waits in `txn.rs` upgrade exactly these units into epoch-waits on the
+/// stripe owner (same [`PARK_NAP`] deadline, but woken the moment the owner
+/// finishes — see DESIGN.md §8.5).
+pub(crate) fn parked_nap_due(iteration: u32) -> bool {
+    iteration >= PARK_YIELD_UNTIL && iteration % PARK_NAP_EVERY == 0
+}
 
 /// Pauses once according to the waiting policy.
 ///

@@ -53,6 +53,11 @@ pub enum WaitPolicy {
     /// re-entering the scheduler's queue just to poll again — `Parked`
     /// waiters leave the run queue entirely, which is what lets serialized
     /// overloaded workloads stop burning the cores the lock holder needs.
+    ///
+    /// Since the epoch-futex work (DESIGN.md §8.5) the nap units of a
+    /// bounded conflict wait park on the stripe owner's *attempt epoch*
+    /// rather than sleeping blind: the waiter is woken the moment the owner
+    /// commits or aborts, instead of oversleeping a fixed nap.
     Parked,
 }
 

@@ -48,10 +48,17 @@ impl fmt::Display for AbortReason {
 
 /// A request to abort and retry the current transaction attempt.
 ///
-/// Carries the reason plus, when known, the variable and the competing
-/// thread involved in the conflict. Schedulers receive this information
-/// through the [`TxScheduler::on_abort`](crate::sched::TxScheduler::on_abort)
-/// hook.
+/// Carries the reason plus, when known, the variable, the competing thread,
+/// and the competing thread's *attempt epoch sampled while the conflict was
+/// live*. Schedulers receive this information through the
+/// [`TxScheduler::on_abort`](crate::sched::TxScheduler::on_abort) hook.
+///
+/// The epoch matters for schedule-after-conflict policies: by the time
+/// `on_abort` runs (after rollback and log extraction), a fast enemy may
+/// already have committed the conflicting transaction and be deep into its
+/// next one. A scheduler that sampled the enemy's epoch *then* would make
+/// the victim wait behind the wrong transaction; the conflict-time sample
+/// recorded here compares against the attempt that actually won.
 ///
 /// # Examples
 ///
@@ -66,6 +73,7 @@ pub struct Abort {
     reason: AbortReason,
     var: Option<VarId>,
     enemy: Option<ThreadId>,
+    enemy_epoch: Option<u32>,
 }
 
 impl Abort {
@@ -75,6 +83,7 @@ impl Abort {
             reason,
             var: None,
             enemy: None,
+            enemy_epoch: None,
         }
     }
 
@@ -84,7 +93,15 @@ impl Abort {
             reason,
             var: Some(var),
             enemy: Some(enemy),
+            enemy_epoch: None,
         }
+    }
+
+    /// Attaches the enemy's attempt epoch as sampled while the conflict was
+    /// live (i.e. while the enemy still held the contested stripe).
+    pub fn with_enemy_epoch(mut self, epoch: u32) -> Self {
+        self.enemy_epoch = Some(epoch);
+        self
     }
 
     /// The cause of the abort.
@@ -100,6 +117,15 @@ impl Abort {
     /// The thread this transaction lost against, if known.
     pub fn enemy(&self) -> Option<ThreadId> {
         self.enemy
+    }
+
+    /// The enemy's attempt epoch observed at conflict-detection time, if it
+    /// was sampled while the conflict was live. `None` means the enemy had
+    /// already released the contested stripe by the time the abort was
+    /// built (its conflicting attempt is over — there is nothing left to
+    /// wait for), or the conflict predates epoch stamping.
+    pub fn enemy_epoch(&self) -> Option<u32> {
+        self.enemy_epoch
     }
 }
 
@@ -139,10 +165,28 @@ mod tests {
     }
 
     #[test]
+    fn enemy_epoch_is_carried_when_stamped() {
+        let base = Abort::on_conflict(
+            AbortReason::WriteConflict,
+            VarId::from_u64(1),
+            ThreadId::from_raw(2),
+        );
+        assert_eq!(base.enemy_epoch(), None, "unstamped by default");
+        let stamped = base.with_enemy_epoch(41);
+        assert_eq!(stamped.enemy_epoch(), Some(41));
+        assert_eq!(
+            stamped.enemy(),
+            base.enemy(),
+            "stamping changes nothing else"
+        );
+    }
+
+    #[test]
     fn plain_abort_has_no_details() {
         let a = Abort::new(AbortReason::Killed);
         assert!(a.var().is_none());
         assert!(a.enemy().is_none());
+        assert!(a.enemy_epoch().is_none());
         assert_eq!(
             a.to_string(),
             "transaction aborted: killed by contention manager"

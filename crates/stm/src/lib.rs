@@ -58,6 +58,7 @@ pub mod backoff;
 pub mod cell;
 pub mod clock;
 pub mod config;
+pub mod epoch;
 pub mod error;
 pub mod orec;
 pub mod runtime;
@@ -71,6 +72,7 @@ pub mod varid;
 pub mod visible;
 
 pub use config::{BackendKind, CmPolicy, TmConfig, WaitPolicy};
+pub use epoch::{AttemptEpochs, EpochTable, EpochWaitOutcome, NoEpochs};
 pub use error::{Abort, AbortReason, TxResult};
 pub use runtime::{quiesce, RetryLimitExceeded, TmBuilder, TmRuntime};
 pub use sched::{NoopScheduler, SchedCtx, TxScheduler};

@@ -21,10 +21,23 @@ use crate::visible::VisibleWrites;
 
 static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
 
+/// A thread's registration with one runtime. Dropping it — which happens in
+/// the thread-local destructor when the OS thread exits — retires the
+/// context: the thread's attempt epoch is marked departed and advanced one
+/// final time, so a scheduler parked on it wakes instead of stalling its
+/// full wait bound against a counter that will never move again.
+struct Registration(Arc<ThreadCtx>);
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        self.0.retire();
+    }
+}
+
 thread_local! {
     /// Per-OS-thread map from runtime id to this thread's context in that
     /// runtime. A thread registers lazily on its first transaction.
-    static THREAD_CTXS: RefCell<HashMap<u64, Arc<ThreadCtx>>> = RefCell::new(HashMap::new());
+    static THREAD_CTXS: RefCell<HashMap<u64, Registration>> = RefCell::new(HashMap::new());
 }
 
 pub(crate) struct RuntimeInner {
@@ -237,12 +250,12 @@ impl TmRuntime {
     fn current_ctx(&self) -> Arc<ThreadCtx> {
         THREAD_CTXS.with(|map| {
             let mut map = map.borrow_mut();
-            if let Some(ctx) = map.get(&self.inner.id) {
-                return Arc::clone(ctx);
+            if let Some(reg) = map.get(&self.inner.id) {
+                return Arc::clone(&reg.0);
             }
             let ctx = self.inner.registry.register();
             self.inner.scheduler.on_thread_register(ctx.id());
-            map.insert(self.inner.id, Arc::clone(&ctx));
+            map.insert(self.inner.id, Registration(Arc::clone(&ctx)));
             ctx
         })
     }
@@ -294,6 +307,7 @@ impl TmRuntime {
             let sched_ctx = SchedCtx {
                 thread: ctx.id(),
                 visible: &inner.orecs,
+                epochs: &inner.registry,
             };
             inner.scheduler.before_start(&sched_ctx);
             let mut tx = Tx::begin(inner, &ctx);
@@ -307,6 +321,9 @@ impl TmRuntime {
                     drop(tx);
                     ctx.commits.fetch_add(1, Ordering::Relaxed);
                     inner.scheduler.on_commit(&sched_ctx, &reads, &writes);
+                    // Bump-and-wake *after* the hook: a victim released here
+                    // observes the enemy's scheduler bookkeeping settled.
+                    ctx.finish_attempt();
                     return Ok(value);
                 }
                 Err(abort) => {
@@ -317,6 +334,7 @@ impl TmRuntime {
                     inner
                         .scheduler
                         .on_abort(&sched_ctx, &abort, &reads, &writes);
+                    ctx.finish_attempt();
                     if attempts >= max_attempts {
                         return Err(RetryLimitExceeded { attempts });
                     }
@@ -535,6 +553,35 @@ mod tests {
         // The stripe must be free again: another transaction can write it.
         rt.run(|tx| tx.write(&v, 2));
         assert_eq!(v.snapshot(), 2);
+    }
+
+    #[test]
+    fn exited_threads_are_retired_from_the_epoch_oracle() {
+        use crate::epoch::{AttemptEpochs, EpochWaitOutcome};
+        use crate::thread::ThreadId;
+
+        let rt = TmRuntime::new();
+        let v = TVar::new(0u64);
+        // Main thread registers first → id 1; the worker gets id 2.
+        rt.run(|tx| tx.modify(&v, |x| x + 1));
+        let worker = {
+            let rt = rt.clone();
+            let v = v.clone();
+            std::thread::spawn(move || rt.run(|tx| tx.modify(&v, |x| x + 1)))
+        };
+        worker.join().unwrap();
+        let worker_id = ThreadId::from_u16(2);
+        // The joined worker's registration guard has retired it: the oracle
+        // reports it absent and refuses to wait on it.
+        assert_eq!(rt.inner.registry.epoch_of(worker_id), None);
+        let outcome = rt.inner.registry.wait_epoch_change(
+            worker_id,
+            0,
+            std::time::Instant::now() + std::time::Duration::from_secs(5),
+        );
+        assert_eq!(outcome, EpochWaitOutcome::Absent, "must not stall");
+        // The live main thread still has an epoch (one finished attempt).
+        assert_eq!(rt.inner.registry.epoch_of(ThreadId::from_u16(1)), Some(1));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use std::fmt;
 
+use crate::epoch::AttemptEpochs;
 use crate::error::Abort;
 use crate::thread::ThreadId;
 use crate::varid::VarId;
@@ -34,12 +35,16 @@ use crate::visible::VisibleWrites;
 ///
 /// Borrows the runtime's [`VisibleWrites`] oracle so schedulers can check
 /// whether predicted addresses are currently being written — the core of
-/// Shrink's conflict-prevention test.
+/// Shrink's conflict-prevention test — and the [`AttemptEpochs`] oracle so
+/// schedule-after-conflict policies can *sleep* until an enemy's attempt
+/// epoch advances instead of yield-polling it (DESIGN.md §8.5).
 pub struct SchedCtx<'a> {
     /// The thread the hook fires for.
     pub thread: ThreadId,
     /// Who is currently writing what (the orec table).
     pub visible: &'a dyn VisibleWrites,
+    /// Per-thread attempt epochs: read, and park until one advances.
+    pub epochs: &'a dyn AttemptEpochs,
 }
 
 impl fmt::Debug for SchedCtx<'_> {
@@ -132,6 +137,7 @@ mod tests {
         let ctx = SchedCtx {
             thread: ThreadId::from_raw(1),
             visible: &oracle,
+            epochs: &crate::epoch::NoEpochs,
         };
         s.on_thread_register(ctx.thread);
         s.before_start(&ctx);

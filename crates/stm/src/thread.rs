@@ -9,8 +9,11 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 use parking_lot::RwLock;
+
+use crate::epoch::{AttemptEpochs, EpochCell, EpochWaitOutcome};
 
 /// Maximum number of threads a single runtime can register.
 ///
@@ -92,6 +95,13 @@ pub struct ThreadCtx {
     pub(crate) commits: AtomicU64,
     /// Aborts suffered by this thread.
     pub(crate) aborts: AtomicU64,
+    /// The *attempt epoch*: advanced (bump + wake) by the runtime every
+    /// time an attempt finishes, after the completion hook has run, and
+    /// retired when the OS thread exits (a departed thread's epoch never
+    /// advances again, so waiters treat it as absent; the retirement
+    /// advance wakes anyone already parked). A scheduler that serialized a
+    /// victim behind this thread sleeps on this cell (DESIGN.md §8.5).
+    epoch: EpochCell,
 }
 
 impl ThreadCtx {
@@ -102,6 +112,7 @@ impl ThreadCtx {
             accesses: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
+            epoch: EpochCell::default(),
         }
     }
 
@@ -152,6 +163,49 @@ impl ThreadCtx {
     pub fn abort_count(&self) -> u64 {
         self.aborts.load(Ordering::Relaxed)
     }
+
+    /// The current attempt epoch. Conflict paths sample this *at detection
+    /// time* and stamp it into the [`Abort`](crate::Abort), so a scheduler
+    /// waiting for "the conflicting attempt to finish" compares against the
+    /// epoch of that attempt, not of whatever the enemy runs later.
+    pub fn attempt_epoch(&self) -> u32 {
+        self.epoch.version()
+    }
+
+    /// The current attempt epoch, or `None` once this thread departed.
+    pub(crate) fn attempt_epoch_if_live(&self) -> Option<u32> {
+        self.epoch.version_if_live()
+    }
+
+    /// Advances the attempt epoch, waking every thread serialized behind
+    /// this one. Called by the runtime after the completion hook of each
+    /// attempt.
+    pub(crate) fn finish_attempt(&self) {
+        self.epoch.advance();
+    }
+
+    /// Marks this thread as departed and wakes its epoch waiters. Runs from
+    /// the thread-local registration guard when the OS thread exits.
+    pub(crate) fn retire(&self) {
+        self.epoch.retire();
+    }
+
+    /// True once the owning OS thread has exited.
+    pub fn departed(&self) -> bool {
+        self.epoch.departed()
+    }
+
+    /// Parks until the attempt epoch differs from `observed`, this thread
+    /// departs (reported as [`EpochWaitOutcome::Absent`] up front), or
+    /// `deadline` passes.
+    pub(crate) fn wait_attempt_change(&self, observed: u32, deadline: Instant) -> EpochWaitOutcome {
+        self.epoch.wait_change(observed, deadline)
+    }
+
+    /// Exact number of threads parked on this thread's attempt epoch.
+    pub fn epoch_waiters(&self) -> u32 {
+        self.epoch.waiters()
+    }
 }
 
 /// Registry of all thread contexts of one runtime.
@@ -201,6 +255,27 @@ impl ThreadRegistry {
     /// Snapshot of all registered contexts, for statistics aggregation.
     pub(crate) fn snapshot(&self) -> Vec<std::sync::Arc<ThreadCtx>> {
         self.threads.read().clone()
+    }
+}
+
+impl AttemptEpochs for ThreadRegistry {
+    fn epoch_of(&self, thread: ThreadId) -> Option<u32> {
+        self.get(thread).and_then(|ctx| ctx.attempt_epoch_if_live())
+    }
+
+    fn wait_epoch_change(
+        &self,
+        thread: ThreadId,
+        observed: u32,
+        deadline: Instant,
+    ) -> EpochWaitOutcome {
+        self.get(thread).map_or(EpochWaitOutcome::Absent, |ctx| {
+            ctx.wait_attempt_change(observed, deadline)
+        })
+    }
+
+    fn waiters_on(&self, thread: ThreadId) -> u32 {
+        self.get(thread).map_or(0, |ctx| ctx.epoch_waiters())
     }
 }
 
@@ -262,5 +337,50 @@ mod tests {
     #[should_panic(expected = "no index")]
     fn none_id_has_no_index() {
         let _ = ThreadId::NONE.index();
+    }
+
+    #[test]
+    fn attempt_epoch_advances_on_finish() {
+        let reg = ThreadRegistry::new();
+        let a = reg.register();
+        assert_eq!(a.attempt_epoch(), 0);
+        a.finish_attempt();
+        a.finish_attempt();
+        assert_eq!(a.attempt_epoch(), 2);
+        assert_eq!(reg.epoch_of(a.id()), Some(2));
+    }
+
+    #[test]
+    fn retired_threads_are_absent_to_the_epoch_oracle() {
+        let reg = ThreadRegistry::new();
+        let a = reg.register();
+        assert_eq!(reg.epoch_of(a.id()), Some(0));
+        a.retire();
+        assert!(a.departed());
+        assert_eq!(reg.epoch_of(a.id()), None);
+        let outcome = reg.wait_epoch_change(
+            a.id(),
+            1,
+            Instant::now() + std::time::Duration::from_secs(5),
+        );
+        assert_eq!(outcome, EpochWaitOutcome::Absent, "must not stall");
+    }
+
+    #[test]
+    fn retire_wakes_a_parked_epoch_waiter() {
+        let reg = std::sync::Arc::new(ThreadRegistry::new());
+        let a = reg.register();
+        let id = a.id();
+        let waiter = {
+            let reg = std::sync::Arc::clone(&reg);
+            std::thread::spawn(move || {
+                reg.wait_epoch_change(id, 0, Instant::now() + std::time::Duration::from_secs(30))
+            })
+        };
+        while reg.waiters_on(id) == 0 {
+            std::thread::yield_now();
+        }
+        a.retire();
+        assert_eq!(waiter.join().unwrap(), EpochWaitOutcome::Advanced);
     }
 }

@@ -32,9 +32,10 @@ use std::any::Any;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
-use crate::backoff::pause;
-use crate::config::{BackendKind, CmPolicy};
+use crate::backoff::{parked_nap_due, pause, PARK_NAP};
+use crate::config::{BackendKind, CmPolicy, WaitPolicy};
 use crate::error::{Abort, AbortReason, TxResult};
 use crate::orec::OrecSnapshot;
 use crate::runtime::RuntimeInner;
@@ -153,7 +154,48 @@ impl<'rt> Tx<'rt> {
         SchedCtx {
             thread: self.me,
             visible: &self.rt.orecs,
+            epochs: &self.rt.registry,
         }
+    }
+
+    /// Builds a conflict abort against `owner`, stamping the owner's
+    /// attempt epoch **only if the conflict is still live** (the owner
+    /// still holds stripe `idx` after the sample). A live sample identifies
+    /// the conflicting attempt exactly — the epoch only advances when that
+    /// attempt ends — so a scheduler waiting on it serializes behind the
+    /// right transaction. If the owner already released the stripe, its
+    /// conflicting attempt is over and there is nothing to wait for: no
+    /// epoch is attached and schedule-after policies skip the wait.
+    fn conflict(&self, reason: AbortReason, var: VarId, idx: usize, owner: ThreadId) -> Abort {
+        let abort = Abort::on_conflict(reason, var, owner);
+        let Some(enemy) = self.rt.registry.get(owner) else {
+            return abort;
+        };
+        let epoch = enemy.attempt_epoch();
+        let snap = self.rt.orecs.at(idx).snapshot();
+        if snap.locked_by_other(self.me) && snap.owner() == owner {
+            abort.with_enemy_epoch(epoch)
+        } else {
+            abort
+        }
+    }
+
+    /// One bounded-wait pause against a stripe held by `owner`. Under
+    /// [`WaitPolicy::Parked`], the pause units that would blind-nap park on
+    /// the owner's attempt epoch instead (same nap-length deadline): the
+    /// owner finishing is exactly the event that frees the stripe, so the
+    /// waiter wakes the moment progress is possible instead of oversleeping.
+    fn contended_pause(&self, iteration: u32, owner: ThreadId) {
+        let policy = self.rt.config.wait_policy;
+        if policy == WaitPolicy::Parked && parked_nap_due(iteration) {
+            if let Some(enemy) = self.rt.registry.get(owner) {
+                if let Some(observed) = enemy.attempt_epoch_if_live() {
+                    let _ = enemy.wait_attempt_change(observed, Instant::now() + PARK_NAP);
+                    return;
+                }
+            }
+        }
+        pause(policy, iteration);
     }
 
     #[inline]
@@ -214,13 +256,14 @@ impl<'rt> Tx<'rt> {
                         if s1.committing() {
                             // Owner is installing values; wait briefly.
                             if spins >= self.rt.config.read_spin_budget {
-                                return Err(Abort::on_conflict(
+                                return Err(self.conflict(
                                     AbortReason::LockTimeout,
                                     var,
+                                    idx,
                                     s1.owner(),
                                 ));
                             }
-                            pause(self.rt.config.wait_policy, spins);
+                            self.contended_pause(spins, s1.owner());
                             spins += 1;
                             continue;
                         }
@@ -241,13 +284,14 @@ impl<'rt> Tx<'rt> {
                     BackendKind::Tiny => {
                         // Encounter-time locking: busy-wait for the writer.
                         if spins >= self.rt.config.lock_spin_budget {
-                            return Err(Abort::on_conflict(
+                            return Err(self.conflict(
                                 AbortReason::LockTimeout,
                                 var,
+                                idx,
                                 s1.owner(),
                             ));
                         }
-                        pause(self.rt.config.wait_policy, spins);
+                        self.contended_pause(spins, s1.owner());
                         spins += 1;
                         continue;
                     }
@@ -335,26 +379,26 @@ impl<'rt> Tx<'rt> {
 
             if s1.locked_by_other(self.me) {
                 let owner = s1.owner();
-                let lose = || Abort::on_conflict(AbortReason::WriteConflict, var, owner);
+                let lose = |tx: &Self| tx.conflict(AbortReason::WriteConflict, var, idx, owner);
                 match cm {
                     CmPolicy::BackendDefault => unreachable!("resolved by effective_cm"),
                     CmPolicy::Suicide => {
                         // Bounded busy-wait, then abort self.
                         if spins >= self.rt.config.lock_spin_budget {
-                            return Err(lose());
+                            return Err(lose(self));
                         }
-                        pause(self.rt.config.wait_policy, spins);
+                        self.contended_pause(spins, owner);
                         spins += 1;
                         continue;
                     }
                     CmPolicy::Polite => {
                         // Exponentially growing patience, then abort self.
                         if polite_attempts >= self.rt.config.polite_retries {
-                            return Err(lose());
+                            return Err(lose(self));
                         }
                         let patience = 16u32 << polite_attempts.min(10);
                         for i in 0..patience {
-                            pause(self.rt.config.wait_policy, i);
+                            self.contended_pause(i, owner);
                         }
                         polite_attempts += 1;
                         continue;
@@ -364,7 +408,7 @@ impl<'rt> Tx<'rt> {
                         if cm == CmPolicy::TwoPhase && my_work <= self.rt.config.cm_timid_threshold
                         {
                             // Timid phase: young transactions lose quietly.
-                            return Err(lose());
+                            return Err(lose(self));
                         }
                         let victim = self.rt.registry.get(owner);
                         match victim {
@@ -376,15 +420,15 @@ impl<'rt> Tx<'rt> {
                                     requested_kill = true;
                                 }
                                 if spins >= self.rt.config.kill_wait_budget {
-                                    return Err(lose());
+                                    return Err(lose(self));
                                 }
-                                pause(self.rt.config.wait_policy, spins);
+                                self.contended_pause(spins, owner);
                                 spins += 1;
                                 continue;
                             }
                             _ => {
                                 // Owner has priority (or vanished): I lose.
-                                return Err(lose());
+                                return Err(lose(self));
                             }
                         }
                     }

@@ -1,0 +1,326 @@
+//! An *event count*: a versioned futex that lets threads sleep until a
+//! counter advances, with no lost wakeups and no polling.
+//!
+//! The classic primitive behind "wait until something happens" schemes
+//! (Reed & Kanodia's eventcounts; `folly::EventCount` is the modern
+//! incarnation): a monotonically advancing **version** plus a way to block
+//! until the version moves past a previously observed value. The STM
+//! scheduler stack uses one per thread as the *attempt epoch* — bumped on
+//! every commit/abort — so a transaction serialized behind an enemy sleeps
+//! in the kernel until the enemy actually finishes, instead of burning its
+//! core in a `yield_now` poll loop (DESIGN.md §8.5).
+//!
+//! # Layout and protocol
+//!
+//! One `AtomicU32` holds everything the wake path needs:
+//!
+//! * **bit 0** — the *waiter bit*: set by a thread about to sleep, cleared
+//!   by the next [`advance`](EventCount::advance);
+//! * **bits 1..32** — the version (31 bits, wrapping).
+//!
+//! A waiter that observed version `v` CASes the waiter bit on and then
+//! futex-waits on the *exact word it installed*. An advancer bumps the
+//! version with one `fetch_add(2)` (bit 0 is untouched — adding 2 preserves
+//! parity) and issues a `wake_all` only when the old word carried the
+//! waiter bit, so advancing with nobody asleep stays a single RMW with no
+//! syscall. The futex compare closes every window: between the CAS and the
+//! sleep the word cannot change without the kernel (or the fallback
+//! parker's bucket lock) noticing and refusing the sleep.
+//!
+//! Clearing the bit races benignly with a fresh waiter setting it for the
+//! *new* version: the fresh waiter's futex compare fails (the word it
+//! expects has the bit set, the cleared word does not), it re-loops once
+//! and re-installs the bit. Nothing is lost, one extra iteration is paid.
+//!
+//! A second word tracks the **exact number of threads inside
+//! [`wait_while_eq`]** (`SeqCst` increment before the first predicate
+//! check, decrement after the last). It plays no part in the wake
+//! protocol; it exists so tests and benchmarks can deterministically
+//! handshake with a waiter ("don't wake until the victim is provably
+//! parked") instead of racing a `sleep` against it.
+//!
+//! [`wait_while_eq`]: EventCount::wait_while_eq
+//!
+//! # Version width
+//!
+//! 31 bits wrap after 2³¹ advances. Equality-based waiting is immune to
+//! wrapping unless a waiter sleeps across *exactly* a multiple of 2³¹
+//! advances — and every waiter in this codebase sleeps with a deadline
+//! measured in milliseconds, during which 2³¹ advances do not happen.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+use crate::futex;
+
+/// Bit 0 of the state word: "at least one thread is (about to be) asleep".
+const WAITER_BIT: u32 = 1;
+/// One version step in state-word units (the version lives in bits 1..32).
+const VERSION_STEP: u32 = 2;
+
+/// How a [`EventCount::wait_while_eq`] call ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The version moved past the observed value.
+    Advanced,
+    /// The deadline expired with the version still equal to the observed
+    /// value.
+    TimedOut,
+}
+
+/// What one [`EventCount::advance`] call did — the version it produced and
+/// whether/how the wake side fired, so callers can account wasted wakeups
+/// (`wake_issued && woken == 0`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Advance {
+    /// The version after the bump.
+    pub version: u32,
+    /// Whether a futex wake was issued (the old word carried the waiter
+    /// bit).
+    pub wake_issued: bool,
+    /// How many threads the wake released (0 when none was issued, or when
+    /// the flagged waiters had already left on their own).
+    pub woken: usize,
+}
+
+/// A futex-backed event count: `version()` / `advance()` /
+/// `wait_while_eq(observed, deadline)`.
+///
+/// # Examples
+///
+/// ```
+/// use parking_lot::{EventCount, WaitOutcome};
+/// use std::time::{Duration, Instant};
+///
+/// let ec = EventCount::new();
+/// let seen = ec.version();
+/// // Nothing advanced: a bounded wait times out.
+/// let outcome = ec.wait_while_eq(seen, Some(Instant::now() + Duration::from_millis(1)));
+/// assert_eq!(outcome, WaitOutcome::TimedOut);
+/// ec.advance();
+/// // Advanced past `seen`: the wait is satisfied without sleeping.
+/// assert_eq!(ec.wait_while_eq(seen, None), WaitOutcome::Advanced);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventCount {
+    /// Waiter bit (bit 0) + wrapping 31-bit version (bits 1..32).
+    state: AtomicU32,
+    /// Exact count of threads currently inside `wait_while_eq`.
+    waiters: AtomicU32,
+}
+
+impl EventCount {
+    /// Creates an event count at version 0.
+    pub const fn new() -> Self {
+        EventCount {
+            state: AtomicU32::new(0),
+            waiters: AtomicU32::new(0),
+        }
+    }
+
+    /// The current version.
+    ///
+    /// `SeqCst`: a caller that samples the version and then publishes data
+    /// (e.g. stamps it into an abort record) needs the sample ordered
+    /// against the advancer's bump in the single total order the waiters
+    /// also observe.
+    pub fn version(&self) -> u32 {
+        self.state.load(Ordering::SeqCst) >> 1
+    }
+
+    /// Exact number of threads currently blocked in (or entering/leaving)
+    /// [`wait_while_eq`](Self::wait_while_eq). A handshake signal for tests
+    /// and benchmarks, not part of the wake protocol.
+    pub fn waiters(&self) -> u32 {
+        self.waiters.load(Ordering::SeqCst)
+    }
+
+    /// Bumps the version and wakes every waiter that saw the old one.
+    ///
+    /// One `fetch_add` when nobody is asleep; a clear-bit RMW plus one
+    /// `wake_all` syscall when the waiter bit was set.
+    pub fn advance(&self) -> Advance {
+        let old = self.state.fetch_add(VERSION_STEP, Ordering::SeqCst);
+        let version = (old >> 1).wrapping_add(1) & (u32::MAX >> 1);
+        if old & WAITER_BIT != 0 {
+            // Clear the bit so quiescent periods go back to syscall-free
+            // advances. This may race a fresh waiter installing the bit for
+            // the *new* version; see the module docs — the futex compare
+            // turns that into one extra waiter loop, never a lost wake.
+            self.state.fetch_and(!WAITER_BIT, Ordering::SeqCst);
+            let woken = futex::wake_all(&self.state);
+            Advance {
+                version,
+                wake_issued: true,
+                woken,
+            }
+        } else {
+            Advance {
+                version,
+                wake_issued: false,
+                woken: 0,
+            }
+        }
+    }
+
+    /// Blocks the calling thread while `version() == observed`, up to
+    /// `deadline` (`None` waits indefinitely).
+    ///
+    /// Returns immediately with [`WaitOutcome::Advanced`] if the version
+    /// already moved. Never yields-polls: all blocking is futex/parker
+    /// sleeping.
+    pub fn wait_while_eq(&self, observed: u32, deadline: Option<Instant>) -> WaitOutcome {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let outcome = self.wait_inner(observed, deadline);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        outcome
+    }
+
+    fn wait_inner(&self, observed: u32, deadline: Option<Instant>) -> WaitOutcome {
+        loop {
+            let cur = self.state.load(Ordering::SeqCst);
+            if cur >> 1 != observed {
+                return WaitOutcome::Advanced;
+            }
+            // An already-expired deadline ends the wait before the waiter
+            // bit is installed — otherwise a zero-duration wait would leave
+            // the bit set with no sleeper, and the next advance would pay a
+            // wake syscall that releases nobody. (The version was checked
+            // just above, so TimedOut is honest here.)
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return WaitOutcome::TimedOut;
+            }
+            // Install the waiter bit for the word we are about to sleep on.
+            let target = cur | WAITER_BIT;
+            if cur & WAITER_BIT == 0
+                && self
+                    .state
+                    .compare_exchange(cur, target, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+            {
+                // Lost the race: either the version moved or another waiter
+                // installed the bit. Re-evaluate from the top.
+                continue;
+            }
+            match deadline {
+                None => futex::wait(&self.state, target),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        // Final authoritative check before reporting expiry.
+                        if self.state.load(Ordering::SeqCst) >> 1 != observed {
+                            return WaitOutcome::Advanced;
+                        }
+                        return WaitOutcome::TimedOut;
+                    }
+                    futex::wait_timeout(&self.state, target, d - now);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn versions_count_advances() {
+        let ec = EventCount::new();
+        assert_eq!(ec.version(), 0);
+        for i in 1..=5u32 {
+            let adv = ec.advance();
+            assert_eq!(adv.version, i);
+            assert_eq!(ec.version(), i);
+            assert!(!adv.wake_issued, "no waiters: no wake syscall");
+        }
+    }
+
+    #[test]
+    fn wait_on_stale_version_returns_immediately() {
+        let ec = EventCount::new();
+        ec.advance();
+        assert_eq!(ec.wait_while_eq(0, None), WaitOutcome::Advanced);
+        assert_eq!(ec.waiters(), 0);
+    }
+
+    #[test]
+    fn bounded_wait_times_out_and_respects_the_deadline() {
+        let ec = EventCount::new();
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let outcome = ec.wait_while_eq(ec.version(), Some(deadline));
+        assert_eq!(outcome, WaitOutcome::TimedOut);
+        assert!(Instant::now() >= deadline, "must not report expiry early");
+    }
+
+    #[test]
+    fn expired_deadline_skips_the_sleep() {
+        let ec = EventCount::new();
+        let outcome = ec.wait_while_eq(ec.version(), Some(Instant::now()));
+        assert_eq!(outcome, WaitOutcome::TimedOut);
+    }
+
+    #[test]
+    fn advance_wakes_a_parked_waiter() {
+        let ec = Arc::new(EventCount::new());
+        let observed = ec.version();
+        let waiter = {
+            let ec = Arc::clone(&ec);
+            thread::spawn(move || ec.wait_while_eq(observed, None))
+        };
+        // Deterministic handshake: wait until the waiter is accounted for
+        // before advancing (no sleep race).
+        while ec.waiters() == 0 {
+            thread::yield_now();
+        }
+        let adv = ec.advance();
+        assert!(adv.wake_issued, "a registered waiter must trigger a wake");
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Advanced);
+        assert_eq!(ec.waiters(), 0);
+    }
+
+    #[test]
+    fn waiter_bit_resets_after_a_wake_round() {
+        let ec = Arc::new(EventCount::new());
+        let observed = ec.version();
+        let waiter = {
+            let ec = Arc::clone(&ec);
+            thread::spawn(move || ec.wait_while_eq(observed, None))
+        };
+        while ec.waiters() == 0 {
+            thread::yield_now();
+        }
+        // The waiter may or may not have installed the bit yet; advancing
+        // handles both. After it leaves, the next advance must be quiet.
+        ec.advance();
+        waiter.join().unwrap();
+        let adv = ec.advance();
+        assert!(
+            !adv.wake_issued,
+            "waiter bit must not stick after the crowd drained"
+        );
+    }
+
+    #[test]
+    fn many_waiters_all_release_on_one_advance() {
+        let ec = Arc::new(EventCount::new());
+        let observed = ec.version();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let ec = Arc::clone(&ec);
+                thread::spawn(move || ec.wait_while_eq(observed, None))
+            })
+            .collect();
+        while ec.waiters() < 4 {
+            thread::yield_now();
+        }
+        ec.advance();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), WaitOutcome::Advanced);
+        }
+        assert_eq!(ec.waiters(), 0);
+    }
+}

@@ -13,10 +13,16 @@
 //!   wakers that change the word and then call [`wake_one`]/[`wake_all`].
 //!   It may return spuriously; callers must re-check their predicate in a
 //!   loop.
+//! * [`wait_timeout`] is [`wait`] with a relative timeout (a `timespec`
+//!   handed to `FUTEX_WAIT` on Linux, `thread::park_timeout` in the
+//!   fallback). Like `wait` it may return early and spuriously; callers
+//!   own the deadline arithmetic and must re-check both predicate and
+//!   clock in a loop.
 //! * [`wake_one`] wakes at most one waiter (the kernel and the fallback
 //!   both drain roughly in arrival order), [`wake_all`] wakes every waiter.
 
 use std::sync::atomic::AtomicU32;
+use std::time::Duration;
 
 #[cfg(all(
     target_os = "linux",
@@ -36,17 +42,37 @@ mod sys {
     #[cfg(target_arch = "aarch64")]
     const SYS_FUTEX: usize = 98;
 
-    /// Raw `futex(2)`: `futex(uaddr, op, val, NULL, NULL, 0)`.
+    /// The kernel's `struct timespec` on the 64-bit targets this module is
+    /// compiled for (both fields are 64-bit there).
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    impl Timespec {
+        fn from_duration(d: Duration) -> Self {
+            // Saturate far beyond any deadline a caller passes; the kernel
+            // rejects tv_sec < 0 with EINVAL, which a u64→i64 wrap could
+            // produce.
+            Timespec {
+                tv_sec: d.as_secs().min(i64::MAX as u64) as i64,
+                tv_nsec: d.subsec_nanos() as i64,
+            }
+        }
+    }
+
+    /// Raw `futex(2)`: `futex(uaddr, op, val, ts, NULL, 0)`.
     ///
     /// # Safety
     ///
-    /// `uaddr` must point to a live, aligned `u32`. With a NULL timeout the
-    /// kernel only ever reads `*uaddr`, so no further invariants apply.
+    /// `uaddr` must point to a live, aligned `u32`; `ts` must be NULL or
+    /// point to a live `Timespec` for the duration of the call.
     #[cfg(target_arch = "x86_64")]
-    unsafe fn sys_futex(uaddr: *const u32, op: usize, val: u32) -> isize {
+    unsafe fn sys_futex(uaddr: *const u32, op: usize, val: u32, ts: *const Timespec) -> isize {
         let ret: isize;
-        // SAFETY: caller guarantees `uaddr` validity; the syscall clobbers
-        // only rcx/r11/rflags, declared below.
+        // SAFETY: caller guarantees `uaddr`/`ts` validity; the syscall
+        // clobbers only rcx/r11/rflags, declared below.
         unsafe {
             core::arch::asm!(
                 "syscall",
@@ -54,7 +80,7 @@ mod sys {
                 in("rdi") uaddr,
                 in("rsi") op,
                 in("rdx") val as usize,
-                in("r10") 0usize, // timeout: NULL → wait forever
+                in("r10") ts, // timeout: NULL → wait forever
                 in("r8") 0usize,
                 in("r9") 0usize,
                 lateout("rcx") _,
@@ -65,22 +91,23 @@ mod sys {
         ret
     }
 
-    /// Raw `futex(2)`: `futex(uaddr, op, val, NULL, NULL, 0)`.
+    /// Raw `futex(2)`: `futex(uaddr, op, val, ts, NULL, 0)`.
     ///
     /// # Safety
     ///
-    /// `uaddr` must point to a live, aligned `u32`.
+    /// `uaddr` must point to a live, aligned `u32`; `ts` must be NULL or
+    /// point to a live `Timespec` for the duration of the call.
     #[cfg(target_arch = "aarch64")]
-    unsafe fn sys_futex(uaddr: *const u32, op: usize, val: u32) -> isize {
+    unsafe fn sys_futex(uaddr: *const u32, op: usize, val: u32, ts: *const Timespec) -> isize {
         let ret: isize;
-        // SAFETY: caller guarantees `uaddr` validity.
+        // SAFETY: caller guarantees `uaddr`/`ts` validity.
         unsafe {
             core::arch::asm!(
                 "svc 0",
                 inlateout("x0") uaddr as usize => ret,
                 in("x1") op,
                 in("x2") val as usize,
-                in("x3") 0usize, // timeout: NULL → wait forever
+                in("x3") ts, // timeout: NULL → wait forever
                 in("x4") 0usize,
                 in("x5") 0usize,
                 in("x8") SYS_FUTEX,
@@ -96,13 +123,41 @@ mod sys {
         // -EINTR on signal — all of which mean "go re-check", which the
         // caller's loop does.
         unsafe {
-            sys_futex(futex.as_ptr(), FUTEX_WAIT | FUTEX_PRIVATE_FLAG, expected);
+            sys_futex(
+                futex.as_ptr(),
+                FUTEX_WAIT | FUTEX_PRIVATE_FLAG,
+                expected,
+                core::ptr::null(),
+            );
+        }
+    }
+
+    pub fn wait_timeout(futex: &AtomicU32, expected: u32, timeout: Duration) {
+        let ts = Timespec::from_duration(timeout);
+        // SAFETY: `futex` is a live aligned u32 and `ts` lives across the
+        // call. Returns 0 on wakeup, -ETIMEDOUT when the relative timeout
+        // elapses, -EAGAIN/-EINTR as for `wait` — in every case the caller
+        // re-checks predicate and deadline.
+        unsafe {
+            sys_futex(
+                futex.as_ptr(),
+                FUTEX_WAIT | FUTEX_PRIVATE_FLAG,
+                expected,
+                &ts,
+            );
         }
     }
 
     pub fn wake_one(futex: &AtomicU32) -> usize {
         // SAFETY: `futex` is a live aligned u32.
-        let woken = unsafe { sys_futex(futex.as_ptr(), FUTEX_WAKE | FUTEX_PRIVATE_FLAG, 1) };
+        let woken = unsafe {
+            sys_futex(
+                futex.as_ptr(),
+                FUTEX_WAKE | FUTEX_PRIVATE_FLAG,
+                1,
+                core::ptr::null(),
+            )
+        };
         woken.max(0) as usize
     }
 
@@ -113,6 +168,7 @@ mod sys {
                 futex.as_ptr(),
                 FUTEX_WAKE | FUTEX_PRIVATE_FLAG,
                 i32::MAX as u32,
+                core::ptr::null(),
             )
         };
         woken.max(0) as usize
@@ -136,6 +192,11 @@ mod sys {
         parker::park(addr, || futex.load(Ordering::SeqCst) == expected);
     }
 
+    pub fn wait_timeout(futex: &AtomicU32, expected: u32, timeout: Duration) {
+        let addr = futex.as_ptr() as usize;
+        let _ = parker::park_timeout(addr, || futex.load(Ordering::SeqCst) == expected, timeout);
+    }
+
     pub fn wake_one(futex: &AtomicU32) -> usize {
         parker::unpark_one(futex.as_ptr() as usize)
     }
@@ -150,6 +211,15 @@ mod sys {
 #[inline]
 pub fn wait(futex: &AtomicU32, expected: u32) {
     sys::wait(futex, expected);
+}
+
+/// Blocks until woken or `timeout` elapses, if `futex` still holds
+/// `expected`. May return early and spuriously; callers re-check their
+/// predicate *and* their deadline in a loop (this function deliberately
+/// does not report which of wake/timeout happened — the word is the truth).
+#[inline]
+pub fn wait_timeout(futex: &AtomicU32, expected: u32, timeout: Duration) {
+    sys::wait_timeout(futex, expected, timeout);
 }
 
 /// Wakes at most one thread blocked in [`wait`] on `futex`. Returns the
@@ -204,6 +274,64 @@ mod tests {
         word.store(1, Ordering::SeqCst);
         wake_one(&word);
         sleeper.join().unwrap();
+    }
+
+    #[test]
+    fn timed_wait_expires_without_a_waker() {
+        let word = AtomicU32::new(0);
+        let start = std::time::Instant::now();
+        let deadline = start + Duration::from_millis(40);
+        // Nobody will ever wake this word: only the clock can end the wait.
+        // A single call may return early (EINTR, spurious wakeups are part
+        // of the contract), so loop on the deadline exactly like production
+        // callers do — the property under test is that the loop comes back
+        // shortly after the deadline instead of sleeping forever.
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            wait_timeout(&word, 0, deadline - now);
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(40),
+            "timed wait loop ended {:?} early",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn timed_wait_with_stale_expected_returns_immediately() {
+        let word = AtomicU32::new(7);
+        let start = std::time::Instant::now();
+        wait_timeout(&word, 0, Duration::from_secs(5));
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "stale compare must not consume the timeout"
+        );
+    }
+
+    #[test]
+    fn timed_wait_is_woken_before_expiry() {
+        let word = Arc::new(AtomicU32::new(0));
+        let sleeper = {
+            let word = Arc::clone(&word);
+            thread::spawn(move || {
+                let start = std::time::Instant::now();
+                while word.load(Ordering::SeqCst) == 0 {
+                    wait_timeout(&word, 0, Duration::from_secs(10));
+                }
+                start.elapsed()
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        word.store(1, Ordering::SeqCst);
+        wake_one(&word);
+        let waited = sleeper.join().unwrap();
+        assert!(
+            waited < Duration::from_secs(5),
+            "waker must cut the timeout short, waited {waited:?}"
+        );
     }
 
     #[test]

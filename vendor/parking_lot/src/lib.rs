@@ -7,9 +7,14 @@
 //!
 //! * [`futex`] — `futex(2)` wait/wake on Linux x86_64/aarch64 (raw syscalls
 //!   via inline asm; there is no `libc` offline), with a portable
-//!   [`parker`]-based fallback elsewhere;
+//!   [`parker`]-based fallback elsewhere; timed waits take a `timespec` on
+//!   the syscall path and `thread::park_timeout` on the fallback;
 //! * [`parker`] — the namesake miniature parking lot: address-keyed FIFO
 //!   wait queues over `std::thread::park`;
+//! * [`EventCount`] — a versioned futex (version word + waiter bit):
+//!   threads sleep until the version advances past an observed value, with
+//!   deadline support and syscall-free advances when nobody waits. The STM
+//!   schedulers use one per thread as the attempt epoch (DESIGN.md §8.5);
 //! * [`RawMutex`] — word-sized three-state parked mutex (inline CAS fast
 //!   path → bounded spin → futex wait; wake-one handoff, FIFO-ish). Its
 //!   guardless `lock`/`unlock` pair can span scopes, which the STM
@@ -29,10 +34,12 @@
 pub mod futex;
 pub mod parker;
 
+mod eventcount;
 mod mutex;
 mod raw;
 mod rwlock;
 
+pub use eventcount::{Advance, EventCount, WaitOutcome};
 pub use mutex::{Mutex, MutexGuard};
 pub use raw::{RawMutex, SpinRawMutex};
 pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -16,6 +16,11 @@
 //!   queue by the time the waker scans it.
 //! * [`unpark_one`] wakes the **oldest** waiter on the address (FIFO), so
 //!   convoys drain in arrival order.
+//! * [`park_timeout`] additionally gives up after a relative timeout,
+//!   removing itself from the queue under the bucket lock — so a timed-out
+//!   thread can never absorb (and thereby lose) a wake meant for a later
+//!   waiter: either it dequeues itself (timeout) or a waker dequeued it
+//!   first (wake), decided atomically by the bucket lock.
 //! * Spurious [`std::thread::park`] returns are absorbed internally; `park`
 //!   only returns once the thread was explicitly unparked (or validation
 //!   failed).
@@ -28,6 +33,7 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, Thread};
+use std::time::{Duration, Instant};
 
 /// One parked thread: the address it waits on, its handle, and the wake
 /// flag that guards against spurious `thread::park` returns.
@@ -110,18 +116,74 @@ pub fn park(addr: usize, validate: impl FnOnce() -> bool) {
     }
 }
 
+/// Parks the calling thread on `addr` until unparked or `timeout` elapses.
+///
+/// Returns `true` if the thread was unparked (or `validate` refused the
+/// sleep), `false` on timeout. A timed-out thread dequeues itself under the
+/// bucket lock; if a waker got there first the wake wins and this returns
+/// `true` — a wake is never silently consumed by an expiring waiter.
+pub fn park_timeout(addr: usize, validate: impl FnOnce() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now().checked_add(timeout);
+    let node = Arc::new(WaitNode {
+        addr,
+        thread: thread::current(),
+        signalled: AtomicBool::new(false),
+    });
+    let enqueued = bucket(addr).with_queue(|queue| {
+        if !validate() {
+            return false;
+        }
+        queue.push(Arc::clone(&node));
+        true
+    });
+    if !enqueued {
+        return true;
+    }
+    loop {
+        if node.signalled.load(Ordering::Acquire) {
+            return true;
+        }
+        let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        match remaining {
+            // An unrepresentable deadline (`Instant` overflow) waits forever.
+            None => thread::park(),
+            Some(r) if !r.is_zero() => thread::park_timeout(r),
+            Some(_) => {
+                // Expired: dequeue ourselves, atomically with the wakers.
+                let removed = bucket(addr).with_queue(|queue| {
+                    queue
+                        .iter()
+                        .position(|n| Arc::ptr_eq(n, &node))
+                        .map(|i| queue.remove(i))
+                        .is_some()
+                });
+                if removed {
+                    return false;
+                }
+                // A waker dequeued us first; `signalled` was set under the
+                // bucket lock we just held, so the wake is already visible.
+                debug_assert!(node.signalled.load(Ordering::Acquire));
+                return true;
+            }
+        }
+    }
+}
+
 /// Unparks the oldest thread parked on `addr`. Returns how many threads
 /// were woken (0 or 1).
 pub fn unpark_one(addr: usize) -> usize {
+    // `signalled` is set while the bucket lock is held: a concurrently
+    // timing-out `park_timeout` that fails to find itself in the queue can
+    // then rely on the flag already being true.
     let node = bucket(addr).with_queue(|queue| {
         queue
             .iter()
             .position(|n| n.addr == addr)
             .map(|i| queue.remove(i))
+            .inspect(|node| node.signalled.store(true, Ordering::Release))
     });
     match node {
         Some(node) => {
-            node.signalled.store(true, Ordering::Release);
             node.thread.unpark();
             1
         }
@@ -136,7 +198,9 @@ pub fn unpark_all(addr: usize) -> usize {
         let mut i = 0;
         while i < queue.len() {
             if queue[i].addr == addr {
-                woken.push(queue.remove(i));
+                let node = queue.remove(i);
+                node.signalled.store(true, Ordering::Release);
+                woken.push(node);
             } else {
                 i += 1;
             }
@@ -144,7 +208,6 @@ pub fn unpark_all(addr: usize) -> usize {
         woken
     });
     for node in &woken {
-        node.signalled.store(true, Ordering::Release);
         node.thread.unpark();
     }
     woken.len()
@@ -221,6 +284,43 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(woken.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn park_timeout_expires_and_dequeues_itself() {
+        let word = AtomicU32::new(0);
+        let addr = word.as_ptr() as usize;
+        let start = Instant::now();
+        let woken = park_timeout(addr, || true, Duration::from_millis(30));
+        assert!(!woken, "nobody woke us: must report timeout");
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        // The node must be gone: a later unpark finds an empty queue.
+        assert_eq!(unpark_one(addr), 0, "timed-out node must self-dequeue");
+    }
+
+    #[test]
+    fn park_timeout_wake_beats_expiry() {
+        let word = AtomicU32::new(0);
+        let addr = word.as_ptr() as usize;
+        let handle = thread::spawn(move || park_timeout(addr, || true, Duration::from_secs(10)));
+        wait_for(|| bucket(addr).with_queue(|q| q.iter().any(|n| n.addr == addr)));
+        assert_eq!(unpark_one(addr), 1);
+        assert!(handle.join().unwrap(), "unparked before expiry → true");
+    }
+
+    #[test]
+    fn park_timeout_validation_failure_skips_the_sleep() {
+        let word = AtomicU32::new(1);
+        let addr = word.as_ptr() as usize;
+        let start = Instant::now();
+        let woken = park_timeout(
+            addr,
+            || word.load(Ordering::SeqCst) == 0,
+            Duration::from_secs(5),
+        );
+        assert!(woken, "failed validation counts as not-slept, not timeout");
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(unpark_one(addr), 0, "nothing was enqueued");
     }
 
     #[test]
