@@ -1,0 +1,219 @@
+//! TVar read-path micro benchmarks: the perf ledger behind `BENCH_read.json`.
+//!
+//! The ROADMAP's read-path numbers lived only in the Criterion suite
+//! (`benches/micro.rs`, `read_path/*`), outside the perf-trajectory ledger
+//! scheme; this binary makes them a first-class `BENCH_*.json` like the
+//! lock and scheduler ledgers, so future read-path PRs can quote
+//! before/after from CI artifacts.
+//!
+//! Probes (each median-of-5 windows):
+//!
+//! 1. `snapshot/*` — the raw [`TVar::snapshot`] cost on both storage paths:
+//!    inline seqlock (dropless ≤ 32 B payloads) vs. epoch-pinned boxed
+//!    (DESIGN.md §7), uncontended and with a background writer churning
+//!    the variable;
+//! 2. `tx_read/*` — one-read transactions, i.e. the orec
+//!    snapshot/validate protocol stacked on top of the same value loads;
+//! 3. `tx_scan32/*` — a 32-read transaction, amortizing per-transaction
+//!    setup to expose the per-read marginal cost.
+//!
+//! Results print as a table and are written to `BENCH_read.json`
+//! (regenerated and uploaded by CI's `bench-smoke` job alongside
+//! `BENCH_locks.json`, `BENCH_sched.json` and `BENCH_retry.json`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use shrink_bench::perf::{median, write_json, Record};
+use shrink_bench::{shape, BenchOpts};
+use shrink_stm::{TVar, TmRuntime};
+
+/// Times `op` for `iters` iterations per window over `windows` windows and
+/// records the median ns/op. Returns the median.
+fn probe(
+    name: &str,
+    iters: u64,
+    windows: usize,
+    records: &mut Vec<Record>,
+    mut op: impl FnMut() -> u64,
+) -> f64 {
+    let mut samples = Vec::with_capacity(windows);
+    let started = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..windows {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(op());
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    std::hint::black_box(sink);
+    let wall = started.elapsed().as_secs_f64();
+    let med = median(&mut samples);
+    println!("{name:>28}  {med:>9.1} ns/op  (median of {windows} windows × {iters} iters)");
+    records.push(Record {
+        name: name.into(),
+        threads: 1,
+        ops_per_s: 1e9 / med,
+        ns_per_op: Some(med),
+        cpu_util: None,
+        victim_ops_per_s: None,
+        ctxt_per_op: None,
+        wasted_per_op: None,
+        wall_s: wall,
+    });
+    med
+}
+
+/// Spawns a writer churning `f` until the returned guard is dropped.
+struct Churn {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Churn {
+    fn spawn(mut f: impl FnMut() + Send + 'static) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    f();
+                }
+            })
+        };
+        Churn {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Churn {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            h.join().expect("churn writer panicked");
+        }
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let iters: u64 = if opts.quick { 200_000 } else { 1_000_000 };
+    let tx_iters: u64 = if opts.quick { 50_000 } else { 200_000 };
+    let windows = 5;
+    let mut records = Vec::new();
+
+    println!("# bench_read — TVar read-path ledger (inline seqlock vs boxed epoch path)");
+
+    // Raw snapshots, uncontended.
+    let inline_var = TVar::new(0u64);
+    assert!(inline_var.uses_inline_storage());
+    let boxed_var = TVar::new(Arc::new(0u64));
+    assert!(!boxed_var.uses_inline_storage());
+    let inline_ns = probe(
+        "snapshot/1/inline_u64",
+        iters,
+        windows,
+        &mut records,
+        || inline_var.snapshot(),
+    );
+    let boxed_ns = probe("snapshot/1/boxed_arc", iters, windows, &mut records, || {
+        *boxed_var.snapshot()
+    });
+
+    // Raw snapshots with a committing writer churning the same variable.
+    let contended_inline = {
+        let var = TVar::new(0u64);
+        let writer = {
+            let var = var.clone();
+            let rt = TmRuntime::new();
+            let mut i = 0u64;
+            move || {
+                i += 1;
+                rt.run(|tx| tx.write(&var, i));
+            }
+        };
+        let _churn = Churn::spawn(writer);
+        probe(
+            "snapshot_contended/2/inline",
+            iters / 4,
+            windows,
+            &mut records,
+            || var.snapshot(),
+        )
+    };
+    let contended_boxed = {
+        let var = TVar::new(Arc::new(0u64));
+        let writer = {
+            let var = var.clone();
+            let rt = TmRuntime::new();
+            let mut i = 0u64;
+            move || {
+                i += 1;
+                rt.run(|tx| tx.write(&var, Arc::new(i)));
+            }
+        };
+        let _churn = Churn::spawn(writer);
+        probe(
+            "snapshot_contended/2/boxed",
+            iters / 4,
+            windows,
+            &mut records,
+            || *var.snapshot(),
+        )
+    };
+
+    // Transactional reads: the orec protocol stacked on the value load.
+    let rt = TmRuntime::new();
+    let tx_read_ns = probe(
+        "tx_read/1/inline_u64",
+        tx_iters,
+        windows,
+        &mut records,
+        || rt.run(|tx| tx.read(&inline_var)),
+    );
+    let vars: Vec<TVar<u64>> = (0..32).map(TVar::new).collect();
+    let scan_ns = probe(
+        "tx_scan32/1/inline_u64",
+        tx_iters / 8,
+        windows,
+        &mut records,
+        || {
+            rt.run(|tx| {
+                let mut sum = 0;
+                for var in &vars {
+                    sum += tx.read(var)?;
+                }
+                Ok(sum)
+            })
+        },
+    );
+
+    // Qualitative claims (see DESIGN.md §5.3 for the shape grammar).
+    shape(
+        "inline seqlock snapshot is no slower than the boxed epoch path",
+        inline_ns <= boxed_ns,
+    );
+    shape(
+        "uncontended snapshots stay under 1 µs on either path",
+        inline_ns < 1_000.0 && boxed_ns < 1_000.0,
+    );
+    shape(
+        "writer churn costs either path less than 100× its quiet latency",
+        contended_inline < 100.0 * inline_ns.max(1.0)
+            && contended_boxed < 100.0 * boxed_ns.max(1.0),
+    );
+    shape(
+        "a transactional read costs more than a raw snapshot (orec protocol is not free)",
+        tx_read_ns > inline_ns,
+    );
+    shape(
+        "per-read marginal cost in a 32-read scan undercuts a one-read transaction",
+        scan_ns / 32.0 < tx_read_ns,
+    );
+
+    write_json("BENCH_read.json", "read", opts.quick, &records);
+}

@@ -26,27 +26,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::EventCount;
-use shrink_bench::perf::{with_cpu_and_switches, write_json, Record};
+use shrink_bench::perf::{median, with_cpu_and_switches, write_json, Record};
 use shrink_bench::{shape, BenchOpts};
 use shrink_core::{SerialWait, Serializer, SerializerConfig, SerializerWaitStats};
 use shrink_stm::{TmRuntime, WaitPolicy};
 use shrink_workloads::harness::run_throughput;
 use shrink_workloads::rbtree::RbTreeWorkload;
 use shrink_workloads::TxWorkload;
-
-/// Median of a sample set (ns).
-fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.total_cmp(b));
-    let n = samples.len();
-    if n == 0 {
-        return f64::NAN;
-    }
-    if n % 2 == 1 {
-        samples[n / 2]
-    } else {
-        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
-    }
-}
 
 /// Wake-latency probe: a waiter blocks on the event count (parked or
 /// yield-polling), the main thread advances it and times how long until the

@@ -44,6 +44,23 @@ pub struct Record {
     pub wall_s: f64,
 }
 
+/// Median of a sample set (sorts in place). `NaN` on an empty slice.
+///
+/// The ledger benches report medians rather than means so one
+/// pathological window on an oversubscribed container cannot skew a row.
+pub fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
 /// utime+stime of this process, in seconds, from `/proc/self/stat`.
 /// USER_HZ is 100 on every Linux configuration this repo targets.
 pub fn cpu_seconds() -> Option<f64> {

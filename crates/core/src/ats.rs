@@ -120,6 +120,13 @@ impl TxScheduler for Ats {
         self.lock.release_if_held(ctx.thread);
     }
 
+    fn on_retry_wait(&self, ctx: &SchedCtx<'_>, _reads: &[VarId], _writes: &[VarId]) {
+        // Deliberate blocking is not contention: the intensity average is
+        // left alone (neither the abort bump nor the commit decay applies);
+        // only a held serialization slot is handed back.
+        self.lock.release_if_held(ctx.thread);
+    }
+
     fn on_abort(&self, ctx: &SchedCtx<'_>, _abort: &Abort, _reads: &[VarId], _writes: &[VarId]) {
         let slot = self.threads.get(ctx.thread);
         {
@@ -184,6 +191,30 @@ mod tests {
         assert_eq!(ats.wait_count(), 1, "high intensity must serialize");
         ats.on_commit(&c, &[], &[]);
         assert_eq!(ats.wait_count(), 0, "commit releases the queue");
+    }
+
+    #[test]
+    fn retry_wait_leaves_intensity_alone_and_releases_the_queue() {
+        let ats = Ats::new(AtsConfig {
+            alpha: 0.5,
+            threshold: 0.4,
+        });
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        let t = ThreadId::from_u16(1);
+        for _ in 0..2 {
+            ats.before_start(&c);
+            ats.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        }
+        let intensity = ats.contention_intensity(t).unwrap();
+        assert!(intensity > 0.4);
+        // The serialized thread blocks in Tx::retry: the slot is released
+        // and the intensity neither bumps (abort) nor decays (commit).
+        ats.before_start(&c);
+        assert_eq!(ats.wait_count(), 1);
+        ats.on_retry_wait(&c, &[], &[]);
+        assert_eq!(ats.wait_count(), 0, "retry wait releases the queue");
+        assert_eq!(ats.contention_intensity(t), Some(intensity));
     }
 
     #[test]

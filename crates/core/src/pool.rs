@@ -81,6 +81,13 @@ impl TxScheduler for Pool {
         self.lock.release_if_held(ctx.thread);
     }
 
+    fn on_retry_wait(&self, ctx: &SchedCtx<'_>, _reads: &[VarId], _writes: &[VarId]) {
+        // A retry is not "facing contention": the contended flag keeps
+        // whatever value the last real outcome gave it; only a held
+        // serialization slot is handed back.
+        self.lock.release_if_held(ctx.thread);
+    }
+
     fn on_abort(&self, ctx: &SchedCtx<'_>, _abort: &Abort, _reads: &[VarId], _writes: &[VarId]) {
         self.contended
             .get(ctx.thread)
@@ -121,6 +128,31 @@ mod tests {
         // After the commit the flag is clear again.
         pool.before_start(&c);
         assert_eq!(pool.wait_count(), 0);
+        pool.on_commit(&c, &[], &[]);
+    }
+
+    #[test]
+    fn retry_wait_releases_the_lock_without_flagging_contention() {
+        let pool = Pool::new();
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        pool.before_start(&c);
+        pool.on_retry_wait(&c, &[], &[]);
+        // A retry is not contention: the next start runs free.
+        pool.before_start(&c);
+        assert_eq!(pool.wait_count(), 0);
+        pool.on_commit(&c, &[], &[]);
+
+        // And a contended thread that retries releases the slot it held,
+        // while staying contended for its next real attempt.
+        pool.before_start(&c);
+        pool.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        pool.before_start(&c);
+        assert_eq!(pool.wait_count(), 1);
+        pool.on_retry_wait(&c, &[], &[]);
+        assert_eq!(pool.wait_count(), 0, "slot released while parked");
+        pool.before_start(&c);
+        assert_eq!(pool.wait_count(), 1, "contended flag survives the wait");
         pool.on_commit(&c, &[], &[]);
     }
 

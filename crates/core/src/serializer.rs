@@ -220,6 +220,13 @@ impl TxScheduler for Serializer {
         }
     }
 
+    fn on_retry_wait(&self, _ctx: &SchedCtx<'_>, _reads: &[VarId], _writes: &[VarId]) {
+        // A deliberate retry has no enemy to schedule after: no pending
+        // wait is recorded, and the runtime parks the thread on its read
+        // set's commit events instead. Nothing to release — before_start
+        // holds no lock.
+    }
+
     fn on_abort(&self, ctx: &SchedCtx<'_>, abort: &Abort, _reads: &[VarId], _writes: &[VarId]) {
         // Schedule-after only when the conflict was *live* at detection
         // time: the Abort then carries the enemy's attempt epoch sampled at
@@ -297,6 +304,24 @@ mod tests {
         s.before_start(&c);
         assert!(start.elapsed() < Duration::from_secs(5));
         assert_eq!(s.wait_stats().parked_waits, 0, "no wait op at all");
+    }
+
+    #[test]
+    fn retry_wait_records_no_schedule_after() {
+        let s = Serializer::new(SerializerConfig {
+            max_wait: Duration::from_secs(60),
+            ..SerializerConfig::default()
+        });
+        let oracle = StaticWrites::new();
+        let epochs = EpochTable::new();
+        let c = ctx(1, &oracle, &epochs);
+        s.before_start(&c);
+        s.on_retry_wait(&c, &[VarId::from_u64(1)], &[]);
+        // No pending enemy: the next start must return instantly.
+        let start = Instant::now();
+        s.before_start(&c);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(s.wait_stats(), SerializerWaitStats::default());
     }
 
     #[test]

@@ -388,6 +388,15 @@ impl TxScheduler for Shrink {
         self.lock.release_if_held(ctx.thread);
     }
 
+    fn on_retry_wait(&self, ctx: &SchedCtx<'_>, _reads: &[VarId], _writes: &[VarId]) {
+        // A deliberate `Tx::retry` wait is not a conflict: the success rate,
+        // predicted sets and locality ring stay untouched (the re-run after
+        // the wake re-reads the same addresses into the current filter).
+        // Only the serialization lock, if this start acquired it, is
+        // released — the waiting thread must not serialize everybody else.
+        self.lock.release_if_held(ctx.thread);
+    }
+
     fn on_abort(&self, ctx: &SchedCtx<'_>, _abort: &Abort, _reads: &[VarId], writes: &[VarId]) {
         self.with_state(ctx.thread, |slot| {
             let mut s = slot.lock();
@@ -523,6 +532,52 @@ mod tests {
         s.on_read(&c, addr);
         commit_empty(&s, &c);
         assert_eq!(s.wait_count(), 0, "commit releases the global lock");
+    }
+
+    #[test]
+    fn retry_wait_is_not_a_conflict_for_the_success_rate() {
+        let s = Shrink::new(ShrinkConfig::default());
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        let t = ThreadId::from_u16(1);
+        s.before_start(&c);
+        commit_empty(&s, &c);
+        assert_eq!(s.success_rate(t), Some(1.0));
+        // Ten deliberate waits in a row: the rate must not decay — a
+        // blocked consumer is not a struggling transaction.
+        for _ in 0..10 {
+            s.before_start(&c);
+            s.on_retry_wait(&c, &[VarId::from_u64(1)], &[]);
+        }
+        assert_eq!(s.success_rate(t), Some(1.0));
+        assert_eq!(s.wait_count(), 0, "no serialization slot leaks");
+    }
+
+    #[test]
+    fn retry_wait_releases_a_held_serialization_lock() {
+        // Same setup that serializes in `before_start`, but the body then
+        // retries: on_retry_wait must hand the global lock back.
+        let config = ShrinkConfig {
+            affinity_bias: 32,
+            ..ShrinkConfig::default()
+        };
+        let s = Shrink::new(config);
+        let addr = VarId::from_u64(5);
+        let enemy = ThreadId::from_u16(9);
+        let oracle = StaticWrites::new().with_writer(addr, enemy);
+        let c = ctx(1, &oracle);
+        s.before_start(&c);
+        s.on_read(&c, addr);
+        commit_empty(&s, &c);
+        for _ in 0..3 {
+            s.before_start(&c);
+            s.on_read(&c, addr);
+            s.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[addr], &[]);
+        }
+        s.before_start(&c);
+        assert_eq!(s.wait_count(), 1, "thread must be serialized");
+        s.on_retry_wait(&c, &[addr], &[]);
+        assert_eq!(s.wait_count(), 0, "retry wait releases the global lock");
     }
 
     #[test]

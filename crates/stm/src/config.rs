@@ -1,6 +1,7 @@
 //! Runtime configuration: backend selection, waiting policy and tuning knobs.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Which conflict-detection protocol the runtime uses.
 ///
@@ -138,6 +139,14 @@ pub struct TmConfig {
     pub cm_policy: CmPolicy,
     /// Backed-off re-attempts Polite makes before aborting.
     pub polite_retries: u32,
+    /// Longest one parked [`Tx::retry`](crate::Tx::retry) round sleeps
+    /// before revalidating its read snapshot. The wake normally comes from
+    /// a committer writing a watched stripe (DESIGN.md §9); the deadline is
+    /// the safety net against waits nothing will ever satisfy (an empty
+    /// read set, a wait-bucket alias race) and what bounds
+    /// [`run_budgeted`](crate::TmRuntime::run_budgeted) on a permanently
+    /// blocked transaction.
+    pub retry_wait: Duration,
 }
 
 impl Default for TmConfig {
@@ -153,6 +162,7 @@ impl Default for TmConfig {
             backoff_ceiling: 10,
             cm_policy: CmPolicy::BackendDefault,
             polite_retries: 6,
+            retry_wait: Duration::from_millis(10),
         }
     }
 }
@@ -183,6 +193,7 @@ mod tests {
         assert!(c.orec_table_size.is_power_of_two());
         assert!(c.read_spin_budget > 0);
         assert!(c.lock_spin_budget > 0);
+        assert!(c.retry_wait > Duration::ZERO);
     }
 
     #[test]

@@ -30,6 +30,25 @@ pub enum AbortReason {
     Killed,
     /// The transaction body requested a restart via [`Tx::restart`](crate::Tx::restart).
     UserRestart,
+    /// The transaction body called [`Tx::retry`](crate::Tx::retry): the
+    /// current snapshot does not let it proceed (a queue was empty, a
+    /// predicate was false). Unlike every other reason this is *control
+    /// flow*, not a conflict: [`Tx::or_else`](crate::Tx::or_else) catches it
+    /// to run an alternative branch, and the runtime's retry loop **parks**
+    /// the thread on the per-stripe commit event counts of its read set
+    /// instead of spinning the attempt again (DESIGN.md §9). Schedulers see
+    /// it through [`on_retry_wait`](crate::sched::TxScheduler::on_retry_wait)
+    /// rather than `on_abort`, so a deliberate wait is never booked as a
+    /// conflict abort.
+    Retry,
+}
+
+impl AbortReason {
+    /// True for [`AbortReason::Retry`] — the control-flow variant
+    /// [`Tx::or_else`](crate::Tx::or_else) catches and the runtime parks on.
+    pub fn is_retry(self) -> bool {
+        self == AbortReason::Retry
+    }
 }
 
 impl fmt::Display for AbortReason {
@@ -41,6 +60,7 @@ impl fmt::Display for AbortReason {
             AbortReason::LockTimeout => "lock wait budget exhausted",
             AbortReason::Killed => "killed by contention manager",
             AbortReason::UserRestart => "restart requested by transaction body",
+            AbortReason::Retry => "retry: blocked until the read set changes",
         };
         f.write_str(s)
     }
@@ -78,6 +98,7 @@ pub struct Abort {
 
 impl Abort {
     /// Creates an abort with no conflict details.
+    #[must_use]
     pub fn new(reason: AbortReason) -> Self {
         Abort {
             reason,
@@ -87,7 +108,14 @@ impl Abort {
         }
     }
 
+    /// The control-flow abort raised by [`Tx::retry`](crate::Tx::retry).
+    #[must_use]
+    pub fn retry() -> Self {
+        Abort::new(AbortReason::Retry)
+    }
+
     /// Creates an abort attributed to a conflict on `var` with `enemy`.
+    #[must_use]
     pub fn on_conflict(reason: AbortReason, var: VarId, enemy: ThreadId) -> Self {
         Abort {
             reason,
@@ -99,6 +127,7 @@ impl Abort {
 
     /// Attaches the enemy's attempt epoch as sampled while the conflict was
     /// live (i.e. while the enemy still held the contested stripe).
+    #[must_use]
     pub fn with_enemy_epoch(mut self, epoch: u32) -> Self {
         self.enemy_epoch = Some(epoch);
         self
@@ -137,6 +166,9 @@ impl fmt::Display for Abort {
         }
         if let Some(t) = self.enemy {
             write!(f, " against {t}")?;
+        }
+        if let Some(e) = self.enemy_epoch {
+            write!(f, " (enemy epoch {e})")?;
         }
         Ok(())
     }
@@ -197,5 +229,27 @@ mod tests {
     fn abort_is_a_std_error() {
         fn takes_err<E: Error>(_: E) {}
         takes_err(Abort::new(AbortReason::ReadValidation));
+    }
+
+    #[test]
+    fn retry_is_control_flow_not_a_conflict() {
+        let a = Abort::retry();
+        assert_eq!(a.reason(), AbortReason::Retry);
+        assert!(a.reason().is_retry());
+        assert!(!AbortReason::WriteConflict.is_retry());
+        assert!(a.var().is_none());
+        assert!(a.enemy().is_none());
+        assert!(a.to_string().contains("retry"), "{a}");
+    }
+
+    #[test]
+    fn display_includes_enemy_epoch_when_stamped() {
+        let a = Abort::on_conflict(
+            AbortReason::WriteConflict,
+            VarId::from_u64(1),
+            ThreadId::from_raw(2),
+        )
+        .with_enemy_epoch(17);
+        assert!(a.to_string().contains("enemy epoch 17"), "{a}");
     }
 }

@@ -17,7 +17,11 @@
 //!   and [`WaitPolicy::Busy`]);
 //! * the scheduler hook interface ([`sched::TxScheduler`]) through which the
 //!   Shrink, ATS, Pool and Serializer policies of the companion
-//!   `shrink-core` crate plug in.
+//!   `shrink-core` crate plug in;
+//! * composable blocking ([`Tx::retry`] / [`Tx::or_else`] /
+//!   [`atomically`]): transactions that wait for a predicate over `TVar`s
+//!   park on per-stripe commit event counts instead of abort-spinning, and
+//!   alternatives roll back only their own branch (DESIGN.md §9).
 //!
 //! ## Quick start
 //!
@@ -70,11 +74,12 @@ pub mod tvar;
 pub mod txn;
 pub mod varid;
 pub mod visible;
+pub mod waitlist;
 
 pub use config::{BackendKind, CmPolicy, TmConfig, WaitPolicy};
 pub use epoch::{AttemptEpochs, EpochTable, EpochWaitOutcome, NoEpochs};
 pub use error::{Abort, AbortReason, TxResult};
-pub use runtime::{quiesce, RetryLimitExceeded, TmBuilder, TmRuntime};
+pub use runtime::{atomically, quiesce, RetryLimitExceeded, TmBuilder, TmRuntime};
 pub use sched::{NoopScheduler, SchedCtx, TxScheduler};
 pub use stats::{ThreadStats, TmStats};
 pub use tarray::TArray;
@@ -83,3 +88,4 @@ pub use tvar::{TVar, TxValue};
 pub use txn::Tx;
 pub use varid::VarId;
 pub use visible::{StaticWrites, VisibleWrites};
+pub use waitlist::RetryStats;

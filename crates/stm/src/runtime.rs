@@ -7,17 +7,19 @@ use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::backoff::retry_backoff;
 use crate::clock::GlobalClock;
 use crate::config::{BackendKind, CmPolicy, TmConfig, WaitPolicy};
-use crate::error::TxResult;
+use crate::error::{AbortReason, TxResult};
 use crate::orec::OrecTable;
 use crate::sched::{NoopScheduler, SchedCtx, TxScheduler};
 use crate::stats::{ThreadStats, TmStats};
 use crate::thread::{ThreadCtx, ThreadRegistry};
 use crate::txn::Tx;
 use crate::visible::VisibleWrites;
+use crate::waitlist::{RetryStats, StripeWaitlist};
 
 static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -47,6 +49,9 @@ pub(crate) struct RuntimeInner {
     pub(crate) orecs: OrecTable,
     pub(crate) scheduler: Arc<dyn TxScheduler>,
     pub(crate) registry: ThreadRegistry,
+    /// Per-stripe commit wait buckets: where `Tx::retry` parks and what the
+    /// commit path wakes (DESIGN.md §9).
+    pub(crate) retry_waits: StripeWaitlist,
 }
 
 /// Error returned by [`TmRuntime::run_budgeted`] when a transaction fails to
@@ -98,66 +103,85 @@ impl TmBuilder {
     }
 
     /// Selects the conflict-detection backend.
+    #[must_use]
     pub fn backend(mut self, backend: BackendKind) -> Self {
         self.config.backend = backend;
         self
     }
 
     /// Selects the waiting policy.
+    #[must_use]
     pub fn wait_policy(mut self, policy: WaitPolicy) -> Self {
         self.config.wait_policy = policy;
         self
     }
 
     /// Sets the number of ownership-record stripes.
+    #[must_use]
     pub fn orec_table_size(mut self, size: usize) -> Self {
         self.config.orec_table_size = size;
         self
     }
 
     /// Sets the reader's spin budget against committing stripes.
+    #[must_use]
     pub fn read_spin_budget(mut self, spins: u32) -> Self {
         self.config.read_spin_budget = spins;
         self
     }
 
     /// Sets the Tiny backend's busy-wait budget on locked stripes.
+    #[must_use]
     pub fn lock_spin_budget(mut self, spins: u32) -> Self {
         self.config.lock_spin_budget = spins;
         self
     }
 
     /// Sets the Swiss contention manager's timid-phase threshold.
+    #[must_use]
     pub fn cm_timid_threshold(mut self, accesses: u64) -> Self {
         self.config.cm_timid_threshold = accesses;
         self
     }
 
     /// Selects the write/write contention-management policy.
+    #[must_use]
     pub fn cm_policy(mut self, policy: CmPolicy) -> Self {
         self.config.cm_policy = policy;
         self
     }
 
     /// Sets how long a Swiss transaction waits for a killed victim.
+    #[must_use]
     pub fn kill_wait_budget(mut self, spins: u32) -> Self {
         self.config.kill_wait_budget = spins;
         self
     }
 
     /// Sets the exponential retry backoff ceiling (power of two).
+    #[must_use]
     pub fn backoff_ceiling(mut self, ceiling: u32) -> Self {
         self.config.backoff_ceiling = ceiling;
         self
     }
 
+    /// Sets the bounded deadline of one parked [`Tx::retry`] round (the
+    /// safety net against waits no commit will ever satisfy).
+    #[must_use]
+    pub fn retry_wait(mut self, deadline: Duration) -> Self {
+        self.config.retry_wait = deadline;
+        self
+    }
+
     /// Replaces the whole configuration.
+    #[must_use]
     pub fn config(mut self, config: TmConfig) -> Self {
         self.config = config;
         self
     }
 
     /// Installs a transaction scheduler (defaults to [`NoopScheduler`]).
+    #[must_use]
     pub fn scheduler(mut self, scheduler: impl TxScheduler + 'static) -> Self {
         self.scheduler = Arc::new(scheduler);
         self
@@ -165,6 +189,7 @@ impl TmBuilder {
 
     /// Installs an already-shared scheduler, letting the caller keep a typed
     /// handle to it (e.g. to read Shrink's prediction-accuracy counters).
+    #[must_use]
     pub fn scheduler_arc(mut self, scheduler: Arc<dyn TxScheduler>) -> Self {
         self.scheduler = scheduler;
         self
@@ -172,10 +197,13 @@ impl TmBuilder {
 
     /// Builds the runtime.
     pub fn build(self) -> TmRuntime {
+        let orecs = OrecTable::new(self.config.orec_table_size);
+        let retry_waits = StripeWaitlist::new(orecs.len());
         TmRuntime {
             inner: Arc::new(RuntimeInner {
                 id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
-                orecs: OrecTable::new(self.config.orec_table_size),
+                orecs,
+                retry_waits,
                 clock: GlobalClock::new(),
                 registry: ThreadRegistry::new(),
                 scheduler: self.scheduler,
@@ -293,6 +321,41 @@ impl TmRuntime {
         self.run_attempts(max_attempts, body)
     }
 
+    /// Runs `first` as a transaction, falling back to `second` whenever
+    /// `first` ends in [`Tx::retry`] — the top-level form of
+    /// [`Tx::or_else`], retrying until the composition commits.
+    ///
+    /// If *both* branches retry, the thread parks on the union of their
+    /// read sets and the composition re-runs when any of it changes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shrink_stm::{TmRuntime, TVar};
+    ///
+    /// let rt = TmRuntime::new();
+    /// let inbox: TVar<Option<u32>> = TVar::new(None);
+    /// let got = rt.run_or_else(
+    ///     |tx| match tx.read(&inbox)? {
+    ///         Some(v) => Ok(v),
+    ///         None => tx.retry(),
+    ///     },
+    ///     |_tx| Ok(0), // default when the inbox is empty
+    /// );
+    /// assert_eq!(got, 0);
+    /// ```
+    pub fn run_or_else<T>(
+        &self,
+        mut first: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+        mut second: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> T {
+        self.run(move |tx| {
+            let first = &mut first;
+            let second = &mut second;
+            tx.or_else(|tx| first(tx), |tx| second(tx))
+        })
+    }
+
     fn run_attempts<T>(
         &self,
         max_attempts: u64,
@@ -325,6 +388,30 @@ impl TmRuntime {
                     // observes the enemy's scheduler bookkeeping settled.
                     ctx.finish_attempt();
                     return Ok(value);
+                }
+                Err(abort) if abort.reason() == AbortReason::Retry => {
+                    // Deliberate blocking, not a conflict: park until a
+                    // commit overwrites something the attempt read.
+                    tx.rollback();
+                    let wait_plan = tx.retry_wait_plan();
+                    let (reads, writes) = tx.take_logs();
+                    drop(tx);
+                    ctx.retry_waits.fetch_add(1, Ordering::Relaxed);
+                    inner.scheduler.on_retry_wait(&sched_ctx, &reads, &writes);
+                    ctx.finish_attempt();
+                    if attempts >= max_attempts {
+                        return Err(RetryLimitExceeded { attempts });
+                    }
+                    let deadline = Instant::now() + inner.config.retry_wait;
+                    let _ = inner.retry_waits.wait(
+                        &inner.orecs,
+                        &wait_plan,
+                        &ctx.retry_parker,
+                        deadline,
+                    );
+                    // Waking (or revalidating after the bounded deadline)
+                    // is progress, not an abort storm: no backoff.
+                    consecutive_aborts = 0;
                 }
                 Err(abort) => {
                     tx.rollback();
@@ -361,9 +448,18 @@ impl TmRuntime {
                 thread: ctx.id(),
                 commits: ctx.commit_count(),
                 aborts: ctx.abort_count(),
+                retry_waits: ctx.retry_wait_count(),
             })
             .collect();
         TmStats::from_threads(per_thread)
+    }
+
+    /// Wait-op counters of the [`Tx::retry`] wake path: how blocked
+    /// transactions waited (parked, woken, timed out) and what the commit
+    /// side paid (wakes issued, wasted wakes). The parked path has no
+    /// yield-poll counterpart at all — these counters are the proof.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.inner.retry_waits.stats()
     }
 }
 
@@ -371,6 +467,24 @@ impl Default for TmRuntime {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Runs `body` as a transaction on `rt`, retrying until it commits — the
+/// Haskell-STM spelling of [`TmRuntime::run`], for bodies written in the
+/// composable [`Tx::retry`] / [`Tx::or_else`] style.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_stm::{atomically, TmRuntime, TVar};
+///
+/// let rt = TmRuntime::new();
+/// let v = TVar::new(41u32);
+/// atomically(&rt, |tx| tx.modify(&v, |x| x + 1));
+/// assert_eq!(v.snapshot(), 42);
+/// ```
+pub fn atomically<T>(rt: &TmRuntime, body: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
+    rt.run(body)
 }
 
 /// Drains deferred epoch garbage at a quiescent point.
@@ -469,6 +583,122 @@ mod tests {
         let rt = TmRuntime::new();
         let result: Result<(), _> = rt.run_budgeted(3, |tx| tx.restart());
         assert_eq!(result, Err(RetryLimitExceeded { attempts: 3 }));
+    }
+
+    #[test]
+    fn retry_blocks_until_a_commit_changes_the_read_set() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(0u64);
+        let consumer = {
+            let rt = rt.clone();
+            let v = v.clone();
+            std::thread::spawn(move || {
+                rt.run(|tx| {
+                    let x = tx.read(&v)?;
+                    if x == 0 {
+                        return tx.retry();
+                    }
+                    Ok(x)
+                })
+            })
+        };
+        // Deterministic handshake: wait until the consumer is provably
+        // parked (a stats-visible retry round), then publish.
+        while rt.retry_stats().parked_waits == 0 {
+            std::thread::yield_now();
+        }
+        rt.run(|tx| tx.write(&v, 7));
+        assert_eq!(consumer.join().unwrap(), 7);
+        let stats = rt.stats();
+        assert!(stats.retry_waits >= 1, "the wait rounds are accounted");
+        assert_eq!(
+            stats.aborts, 0,
+            "a deliberate retry must not count as a conflict abort"
+        );
+        let wait_stats = rt.retry_stats();
+        assert!(wait_stats.parked_waits >= 1);
+        assert!(
+            wait_stats.woken >= 1,
+            "the producer's commit must wake the parked consumer: {wait_stats:?}"
+        );
+    }
+
+    #[test]
+    fn budgeted_run_bounds_a_permanently_blocked_retry() {
+        let rt = TmRuntime::builder()
+            .retry_wait(std::time::Duration::from_millis(1))
+            .build();
+        let v = TVar::new(0u64);
+        let result: Result<(), _> = rt.run_budgeted(3, |tx| {
+            let _ = tx.read(&v)?;
+            tx.retry()
+        });
+        assert_eq!(result, Err(RetryLimitExceeded { attempts: 3 }));
+    }
+
+    #[test]
+    fn run_or_else_takes_the_fallback_when_first_retries() {
+        let rt = TmRuntime::new();
+        let a: TVar<Option<u32>> = TVar::new(None);
+        let b: TVar<Option<u32>> = TVar::new(Some(5));
+        let got = rt.run_or_else(
+            |tx| match tx.read(&a)? {
+                Some(v) => Ok(v),
+                None => tx.retry(),
+            },
+            |tx| match tx.read(&b)? {
+                Some(v) => Ok(v),
+                None => tx.retry(),
+            },
+        );
+        assert_eq!(got, 5);
+        assert_eq!(rt.stats().retry_waits, 0, "or_else caught the retry");
+    }
+
+    #[test]
+    fn atomically_is_run() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(1u32);
+        let got = atomically(&rt, |tx| tx.modify(&v, |x| x * 2).map(|()| 0));
+        assert_eq!(got, 0);
+        assert_eq!(v.snapshot(), 2);
+    }
+
+    #[test]
+    fn retry_releases_branch_locks_before_parking() {
+        // A transaction that wrote (acquiring a stripe) and then retried
+        // must not park while holding the stripe: another thread writing
+        // the same variable is exactly what will wake it.
+        let rt = TmRuntime::builder()
+            .retry_wait(std::time::Duration::from_secs(30))
+            .build();
+        let gate = TVar::new(false);
+        let target = TVar::new(0u64);
+        let blocked = {
+            let rt = rt.clone();
+            let gate = gate.clone();
+            let target = target.clone();
+            std::thread::spawn(move || {
+                rt.run(|tx| {
+                    tx.write(&target, 99)?;
+                    if !tx.read(&gate)? {
+                        return tx.retry();
+                    }
+                    Ok(())
+                })
+            })
+        };
+        while rt.retry_stats().parked_waits == 0 {
+            std::thread::yield_now();
+        }
+        // The stripe must be free: this write succeeds without conflict and
+        // (also writing `gate`'s stripe set) wakes the parked thread.
+        rt.run(|tx| {
+            tx.write(&target, 1)?;
+            tx.write(&gate, true)
+        });
+        blocked.join().unwrap();
+        assert_eq!(target.snapshot(), 99, "retried write re-ran and won");
     }
 
     #[test]

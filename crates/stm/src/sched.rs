@@ -19,6 +19,13 @@
 //! * [`on_thread_register`](TxScheduler::on_thread_register) — one-time
 //!   per-thread setup.
 //!
+//! A seventh hook goes beyond the paper's listing:
+//! [`on_retry_wait`](TxScheduler::on_retry_wait) fires *instead of*
+//! `on_abort` when the attempt ended in [`Tx::retry`](crate::Tx::retry) — a
+//! deliberate wait for the read set to change, which success-rate and
+//! contention-intensity accounting must not book as a conflict
+//! (DESIGN.md §9).
+//!
 //! Concrete schedulers (Shrink, ATS, Pool, Serializer) live in the
 //! `shrink-core` crate; this crate ships only [`NoopScheduler`], the
 //! "base TM" configuration.
@@ -63,13 +70,14 @@ impl fmt::Debug for SchedCtx<'_> {
 ///
 /// # Contract
 ///
-/// * Every attempt is bracketed: `before_start` is followed by exactly one of
-///   `on_commit` or `on_abort` for the same thread.
-/// * `reads` and `writes` slices passed to `on_commit`/`on_abort` list the
+/// * Every attempt is bracketed: `before_start` is followed by exactly one
+///   of `on_commit`, `on_abort` or `on_retry_wait` for the same thread.
+/// * `reads` and `writes` slices passed to the completion hooks list the
 ///   variables accessed by the finished attempt. `reads` may contain
 ///   duplicates (one entry per dynamic read); `writes` is duplicate-free.
 /// * A scheduler that acquires a lock in `before_start` **must** release it
-///   in both `on_commit` and `on_abort`.
+///   in all three completion hooks (`on_commit`, `on_abort`,
+///   `on_retry_wait`).
 pub trait TxScheduler: Send + Sync + fmt::Debug {
     /// Called once when a thread registers with the runtime.
     fn on_thread_register(&self, thread: ThreadId) {
@@ -98,8 +106,24 @@ pub trait TxScheduler: Send + Sync + fmt::Debug {
     }
 
     /// Called after an aborted attempt with the abort cause and access sets.
+    ///
+    /// Never fired for [`AbortReason::Retry`](crate::AbortReason::Retry) —
+    /// those attempts complete through
+    /// [`on_retry_wait`](TxScheduler::on_retry_wait) instead.
     fn on_abort(&self, ctx: &SchedCtx<'_>, abort: &Abort, reads: &[VarId], writes: &[VarId]) {
         let _ = (ctx, abort, reads, writes);
+    }
+
+    /// Called when an attempt ended in [`Tx::retry`](crate::Tx::retry),
+    /// *before* the runtime parks the thread on its read set's commit
+    /// events. Fired instead of [`on_abort`](TxScheduler::on_abort): the
+    /// transaction chose to wait, so policies reacting to conflicts
+    /// (success-rate decay, contention intensity, schedule-after) must stay
+    /// untouched. A scheduler holding a serialization lock from
+    /// `before_start` must release it here, exactly as in the other two
+    /// completion hooks.
+    fn on_retry_wait(&self, ctx: &SchedCtx<'_>, reads: &[VarId], writes: &[VarId]) {
+        let _ = (ctx, reads, writes);
     }
 
     /// A short name for reports ("noop", "shrink", "ats", ...).
@@ -150,6 +174,7 @@ mod tests {
             &[],
             &[],
         );
+        s.on_retry_wait(&ctx, &[], &[]);
         assert_eq!(s.name(), "noop");
     }
 

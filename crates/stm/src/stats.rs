@@ -18,6 +18,12 @@ pub struct ThreadStats {
     pub commits: u64,
     /// Aborted attempts.
     pub aborts: u64,
+    /// Attempts that ended in [`Tx::retry`](crate::Tx::retry) (whether the
+    /// round then parked, found its snapshot already stale, or exhausted
+    /// the attempt budget — [`RetryStats`](crate::RetryStats) breaks the
+    /// wait outcomes down). Deliberate blocking is not a conflict: it is
+    /// counted here, never in `aborts`.
+    pub retry_waits: u64,
 }
 
 impl ThreadStats {
@@ -50,6 +56,9 @@ pub struct TmStats {
     pub commits: u64,
     /// Total aborted attempts.
     pub aborts: u64,
+    /// Total attempts that ended in [`Tx::retry`](crate::Tx::retry)
+    /// (deliberate blocking, counted apart from conflict aborts).
+    pub retry_waits: u64,
     /// Per-thread breakdown.
     pub per_thread: Vec<ThreadStats>,
 }
@@ -59,9 +68,11 @@ impl TmStats {
     pub fn from_threads(per_thread: Vec<ThreadStats>) -> Self {
         let commits = per_thread.iter().map(|t| t.commits).sum();
         let aborts = per_thread.iter().map(|t| t.aborts).sum();
+        let retry_waits = per_thread.iter().map(|t| t.retry_waits).sum();
         TmStats {
             commits,
             aborts,
+            retry_waits,
             per_thread,
         }
     }
@@ -94,6 +105,7 @@ impl TmStats {
         TmStats {
             commits: self.commits.saturating_sub(earlier.commits),
             aborts: self.aborts.saturating_sub(earlier.aborts),
+            retry_waits: self.retry_waits.saturating_sub(earlier.retry_waits),
             per_thread: Vec::new(),
         }
     }
@@ -120,6 +132,7 @@ mod tests {
             thread: ThreadId::from_raw(thread),
             commits,
             aborts,
+            retry_waits: 0,
         }
     }
 
@@ -146,6 +159,22 @@ mod tests {
         let d = late.since(&early);
         assert_eq!(d.commits, 15);
         assert_eq!(d.aborts, 5);
+    }
+
+    #[test]
+    fn retry_waits_aggregate_apart_from_aborts() {
+        let mut a = ts(1, 10, 2);
+        a.retry_waits = 7;
+        let mut b = ts(2, 5, 0);
+        b.retry_waits = 3;
+        let s = TmStats::from_threads(vec![a, b]);
+        assert_eq!(s.retry_waits, 10);
+        assert_eq!(s.aborts, 2, "deliberate waits are not aborts");
+        let early = TmStats {
+            retry_waits: 4,
+            ..TmStats::default()
+        };
+        assert_eq!(s.since(&early).retry_waits, 6);
     }
 
     #[test]

@@ -9,9 +9,10 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::{EventCount, RwLock};
 
 use crate::epoch::{AttemptEpochs, EpochCell, EpochWaitOutcome};
 
@@ -95,6 +96,17 @@ pub struct ThreadCtx {
     pub(crate) commits: AtomicU64,
     /// Aborts suffered by this thread.
     pub(crate) aborts: AtomicU64,
+    /// Attempts by this thread that ended in [`Tx::retry`] (deliberate
+    /// waits, counted apart from conflict aborts; the runtime-wide
+    /// `RetryStats` break down how each round then waited).
+    ///
+    /// [`Tx::retry`]: crate::Tx::retry
+    pub(crate) retry_waits: AtomicU64,
+    /// This thread's retry parker: the single event count it sleeps on
+    /// while blocked in [`Tx::retry`](crate::Tx::retry), registered on the
+    /// wait buckets of its read set (see `waitlist.rs`). `Arc` because the
+    /// bucket lists hold clones of it.
+    pub(crate) retry_parker: Arc<EventCount>,
     /// The *attempt epoch*: advanced (bump + wake) by the runtime every
     /// time an attempt finishes, after the completion hook has run, and
     /// retired when the OS thread exits (a departed thread's epoch never
@@ -112,6 +124,8 @@ impl ThreadCtx {
             accesses: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
+            retry_waits: AtomicU64::new(0),
+            retry_parker: Arc::new(EventCount::new()),
             epoch: EpochCell::default(),
         }
     }
@@ -162,6 +176,11 @@ impl ThreadCtx {
     /// Total aborts by this thread.
     pub fn abort_count(&self) -> u64 {
         self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Total attempts by this thread that ended in `Tx::retry`.
+    pub fn retry_wait_count(&self) -> u64 {
+        self.retry_waits.load(Ordering::Relaxed)
     }
 
     /// The current attempt epoch. Conflict paths sample this *at detection

@@ -56,6 +56,10 @@ trait PendingWrite: Send {
     fn install(&self);
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// A boxed clone of this entry, for checkpoint undo records: an
+    /// [`or_else`](Tx::or_else) branch that overwrites a pre-branch entry
+    /// must be able to restore the old buffered value on rollback.
+    fn snapshot_entry(&self) -> Box<dyn PendingWrite>;
 }
 
 struct TypedWrite<T> {
@@ -75,6 +79,33 @@ impl<T: TxValue> PendingWrite for TypedWrite<T> {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn snapshot_entry(&self) -> Box<dyn PendingWrite> {
+        Box::new(TypedWrite {
+            target: Arc::clone(&self.target),
+            value: self.value.clone(),
+        })
+    }
+}
+
+/// A rollback point inside one transaction attempt, pushed by
+/// [`Tx::or_else`] around its first branch (DESIGN.md §9).
+///
+/// Rolling back to a checkpoint undoes everything the branch *wrote* —
+/// write-log entries are truncated, overwritten pre-branch entries are
+/// restored from `overwrites`, and stripes first acquired inside the branch
+/// are released — while the branch's *reads* are deliberately kept: they
+/// were real reads of the snapshot, keeping them validates the alternative
+/// branch against the same consistency, and a [`Tx::retry`] that escapes
+/// both branches must park on the union of both read sets.
+struct Checkpoint {
+    write_log_len: usize,
+    write_vars_len: usize,
+    owned_len: usize,
+    /// Pre-branch values of write-log entries the branch overwrote in
+    /// place, saved lazily at first overwrite: `(write_log index, entry as
+    /// it was when this checkpoint was live)`.
+    overwrites: Vec<(usize, Box<dyn PendingWrite>)>,
 }
 
 /// An in-flight transaction attempt.
@@ -96,6 +127,8 @@ pub struct Tx<'rt> {
     write_index: HashMap<VarId, usize>,
     owned_orecs: HashSet<usize>,
     owned_order: Vec<usize>,
+    /// Active [`or_else`](Tx::or_else) rollback points, innermost last.
+    checkpoints: Vec<Checkpoint>,
     finished: bool,
 }
 
@@ -116,6 +149,7 @@ impl<'rt> Tx<'rt> {
             write_index: HashMap::new(),
             owned_orecs: HashSet::new(),
             owned_order: Vec::new(),
+            checkpoints: Vec::new(),
             finished: false,
         }
     }
@@ -148,6 +182,160 @@ impl<'rt> Tx<'rt> {
     /// propagated with `?` or returned directly from the body.
     pub fn restart<T>(&self) -> TxResult<T> {
         Err(Abort::new(AbortReason::UserRestart))
+    }
+
+    /// Blocks this transaction until its read set changes.
+    ///
+    /// The Haskell-STM `retry` operator: the body declares that the current
+    /// snapshot does not let it proceed (a queue is empty, a predicate is
+    /// false). Inside [`Tx::or_else`] the nearest enclosing `or_else`
+    /// catches it and runs the alternative branch; otherwise the runtime
+    /// rolls the attempt back, releases every stripe lock, and **parks**
+    /// the thread on the per-stripe commit event counts of everything the
+    /// attempt read — it sleeps in the kernel until a committer overwrites
+    /// one of those stripes (or a bounded deadline revalidates), never
+    /// yield-polling (DESIGN.md §9).
+    ///
+    /// A `retry` with an *empty* read set can never be woken by a commit;
+    /// it blocks in bounded [`retry_wait`](crate::TmConfig::retry_wait)
+    /// rounds instead of forever, but is almost certainly a bug in the
+    /// body.
+    ///
+    /// # Errors
+    ///
+    /// Always returns `Err` with [`AbortReason::Retry`]; intended to be
+    /// propagated with `?` or returned directly from the body.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shrink_stm::{TmRuntime, TVar, TxResult};
+    ///
+    /// let rt = TmRuntime::new();
+    /// let ready = TVar::new(false);
+    /// let flag = ready.clone();
+    /// let setter = {
+    ///     let rt = rt.clone();
+    ///     std::thread::spawn(move || {
+    ///         std::thread::sleep(std::time::Duration::from_millis(5));
+    ///         rt.run(|tx| tx.write(&flag, true));
+    ///     })
+    /// };
+    /// // Blocks (parked) until the setter's commit flips the flag.
+    /// rt.run(|tx| {
+    ///     if !tx.read(&ready)? {
+    ///         return tx.retry();
+    ///     }
+    ///     Ok(())
+    /// });
+    /// setter.join().unwrap();
+    /// ```
+    pub fn retry<T>(&self) -> TxResult<T> {
+        Err(Abort::retry())
+    }
+
+    /// Runs `first`; if it ends in [`Tx::retry`], rolls back *only its
+    /// writes* and runs `second` instead.
+    ///
+    /// The Haskell-STM `orElse` combinator, and the reason `retry` composes:
+    /// alternatives nest arbitrarily (`or_else` inside either branch works)
+    /// and the whole composition is still one atomic transaction. Semantics:
+    ///
+    /// * Writes made by a retried `first` never become visible — buffered
+    ///   entries are dropped, overwritten pre-branch entries restored, and
+    ///   stripes first locked inside the branch released.
+    /// * Reads made by `first` stay in the read set: the transaction
+    ///   validates against them, and if `second` also retries, the thread
+    ///   parks on the **union** of both branches' read sets (either branch
+    ///   becoming runnable wakes it).
+    /// * Any non-`retry` abort (conflict, validation, kill) propagates and
+    ///   restarts the whole transaction, exactly as outside `or_else`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `second`'s result when `first` retries, and any
+    /// non-`retry` abort of either branch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shrink_stm::{TmRuntime, TVar, TxResult};
+    ///
+    /// let rt = TmRuntime::new();
+    /// let primary: TVar<Option<u32>> = TVar::new(None);
+    /// let fallback: TVar<Option<u32>> = TVar::new(Some(9));
+    /// let take = |v: &TVar<Option<u32>>| {
+    ///     let v = v.clone();
+    ///     move |tx: &mut shrink_stm::Tx<'_>| match tx.read(&v)? {
+    ///         Some(x) => {
+    ///             tx.write(&v, None)?;
+    ///             Ok(x)
+    ///         }
+    ///         None => tx.retry(),
+    ///     }
+    /// };
+    /// let got = rt.run(|tx| tx.or_else(take(&primary), take(&fallback)));
+    /// assert_eq!(got, 9);
+    /// ```
+    pub fn or_else<T>(
+        &mut self,
+        first: impl FnOnce(&mut Tx<'rt>) -> TxResult<T>,
+        second: impl FnOnce(&mut Tx<'rt>) -> TxResult<T>,
+    ) -> TxResult<T> {
+        self.checkpoints.push(Checkpoint {
+            write_log_len: self.write_log.len(),
+            write_vars_len: self.write_vars.len(),
+            owned_len: self.owned_order.len(),
+            overwrites: Vec::new(),
+        });
+        match first(self) {
+            Err(abort) if abort.reason() == AbortReason::Retry => {
+                let cp = self.checkpoints.pop().expect("checkpoint pushed above");
+                self.rollback_to(cp);
+                second(self)
+            }
+            other => {
+                let cp = self.checkpoints.pop().expect("checkpoint pushed above");
+                self.merge_checkpoint(cp);
+                other
+            }
+        }
+    }
+
+    /// Restores the attempt to `cp`: truncate the write log, restore
+    /// overwritten pre-branch entries, release branch-acquired stripes.
+    /// Reads are kept (see [`Checkpoint`]).
+    fn rollback_to(&mut self, cp: Checkpoint) {
+        debug_assert_eq!(self.write_log.len(), self.write_vars.len());
+        for var in self.write_vars.drain(cp.write_vars_len..) {
+            self.write_index.remove(&var);
+        }
+        self.write_log.truncate(cp.write_log_len);
+        for (i, saved) in cp.overwrites {
+            self.write_log[i] = saved;
+        }
+        // Stripes first locked inside the branch guard only branch-local
+        // first-writes (a pre-branch write would have acquired its stripe
+        // at that earlier write), so they are safe to hand back.
+        for idx in self.owned_order.drain(cp.owned_len..) {
+            self.rt.orecs.at(idx).unlock_abort(self.me);
+            self.owned_orecs.remove(&idx);
+        }
+    }
+
+    /// Folds a completed checkpoint's undo records into the enclosing one:
+    /// an entry the inner branch overwrote may predate the *outer*
+    /// checkpoint too, and the outer rollback must restore the oldest
+    /// saved value (the entry was untouched between the two pushes, so the
+    /// inner record is exact for both).
+    fn merge_checkpoint(&mut self, cp: Checkpoint) {
+        if let Some(outer) = self.checkpoints.last_mut() {
+            for (i, saved) in cp.overwrites {
+                if i < outer.write_log_len && !outer.overwrites.iter().any(|(j, _)| *j == i) {
+                    outer.overwrites.push((i, saved));
+                }
+            }
+        }
     }
 
     fn sched_ctx(&self) -> SchedCtx<'_> {
@@ -335,6 +523,14 @@ impl<'rt> Tx<'rt> {
         let var = tvar.inner.id;
 
         if let Some(&i) = self.write_index.get(&var) {
+            // Inside an or_else branch, overwriting an entry that predates
+            // the branch must be undoable: save the pre-branch value once.
+            if let Some(cp) = self.checkpoints.last_mut() {
+                if i < cp.write_log_len && !cp.overwrites.iter().any(|(j, _)| *j == i) {
+                    let saved = self.write_log[i].snapshot_entry();
+                    cp.overwrites.push((i, saved));
+                }
+            }
             let w = self.write_log[i]
                 .as_any_mut()
                 .downcast_mut::<TypedWrite<T>>()
@@ -511,6 +707,10 @@ impl<'rt> Tx<'rt> {
         for &idx in &self.owned_order {
             self.rt.orecs.at(idx).unlock_commit(self.me, commit_ts);
         }
+        // Wake transactions parked in `Tx::retry` on any stripe this commit
+        // wrote — after the version stamps above, so a woken waiter always
+        // observes the stripe moved (DESIGN.md §9).
+        self.rt.retry_waits.notify_commit(&self.owned_order);
         self.finished = true;
         Ok(())
     }
@@ -533,6 +733,21 @@ impl<'rt> Tx<'rt> {
             std::mem::take(&mut self.read_vars),
             std::mem::take(&mut self.write_vars),
         )
+    }
+
+    /// The `(stripe, observed version)` pairs a retrying attempt must park
+    /// on: its validated read log, deduplicated by stripe. Taken after
+    /// [`rollback`](Tx::rollback) — released stripes carry their pre-lock
+    /// versions again, so the observed versions below are live.
+    pub(crate) fn retry_wait_plan(&self) -> Vec<(usize, u64)> {
+        let mut plan: Vec<(usize, u64)> =
+            self.read_log.iter().map(|e| (e.orec, e.version)).collect();
+        plan.sort_unstable();
+        // A consistent read log holds one version per stripe (a version
+        // moving mid-attempt forces extend-or-abort), so stripe dedup is
+        // lossless.
+        plan.dedup_by_key(|&mut (orec, _)| orec);
+        plan
     }
 }
 

@@ -1,0 +1,395 @@
+//! Per-stripe commit wait lists: the wake path behind [`Tx::retry`].
+//!
+//! A transaction that calls [`Tx::retry`](crate::Tx::retry) is saying "this
+//! snapshot cannot proceed — run me again when it changes". The only events
+//! that can change the snapshot are commits that write one of the stripes
+//! the transaction read, so the runtime parks the thread here until exactly
+//! such a commit happens (or a bounded deadline passes).
+//!
+//! # Protocol
+//!
+//! The orec table's stripes are hashed down onto a fixed set of *wait
+//! buckets* (aliasing produces spurious wakeups, never missed ones — the
+//! same trade-off as the orec striping itself). Each bucket holds an exact
+//! waiter count plus a list of registered *parkers*, one
+//! [`EventCount`](parking_lot::EventCount) per waiting thread:
+//!
+//! 1. The waiter samples its own parker version, registers the parker on
+//!    every bucket its read set hashes to, and **then** validates the read
+//!    snapshot against the live orec versions. A commit that raced ahead of
+//!    the registration is caught by this validation; a commit that lands
+//!    after it finds the parker registered and wakes it. A `SeqCst` fence on
+//!    both sides closes the store-buffer window between "publish my
+//!    registration" and "read your version stamp".
+//! 2. If the snapshot is still current, the waiter parks on its own parker
+//!    — a single futex word, regardless of how many stripes it watches —
+//!    with a bounded deadline ([`TmConfig::retry_wait`]); on wake or expiry
+//!    it deregisters from every bucket.
+//! 3. The commit path calls [`notify_commit`](StripeWaitlist::notify_commit)
+//!    with its written stripes *after* the new versions are installed. A
+//!    bucket with zero waiters costs one atomic load; otherwise every
+//!    registered parker is advanced (bump **and wake**).
+//!
+//! All waiting is futex/parker sleeping: the retry path contains no
+//! `yield_now` poll loop at all, which is what the wait-op counters in
+//! [`RetryStats`] let tests and `bench_retry` prove.
+//!
+//! [`Tx::retry`]: crate::Tx::retry
+//! [`TmConfig::retry_wait`]: crate::config::TmConfig::retry_wait
+
+use std::fmt;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{EventCount, Mutex, WaitOutcome};
+
+use crate::orec::OrecTable;
+
+/// Most wait buckets a runtime allocates; stripes hash down onto these.
+const MAX_BUCKETS: usize = 1024;
+
+/// How one bounded retry-wait round ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RetryWaitOutcome {
+    /// The read snapshot was already stale when (re)checked — no sleep, the
+    /// transaction should re-run immediately.
+    Changed,
+    /// A committer writing a watched stripe woke the parker.
+    Woken,
+    /// The deadline expired with the snapshot unchanged.
+    TimedOut,
+}
+
+/// Wait-op counters of the [`Tx::retry`](crate::Tx::retry) wake path,
+/// aggregated per runtime and exposed through
+/// [`TmRuntime::retry_stats`](crate::TmRuntime::retry_stats).
+///
+/// The waiter side proves *how* blocked transactions waited (`parked_waits`
+/// never comes with a yield-poll counterpart because the path has none);
+/// the committer side (`wakes_issued` / `wasted_wakes`) is the
+/// wasted-wakeup ledger `bench_retry` reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Wait rounds that actually parked on the futex.
+    pub parked_waits: u64,
+    /// Parked rounds ended by a committer's wake.
+    pub woken: u64,
+    /// Parked rounds that expired with the snapshot unchanged.
+    pub timed_out: u64,
+    /// Rounds where validation caught a change before any sleep.
+    pub changed_before_park: u64,
+    /// Commit-side wake rounds that found at least one registered parker.
+    pub wakes_issued: u64,
+    /// Threads actually released by commit-side wakes.
+    pub threads_woken: u64,
+    /// Wake syscalls that released nobody (the parker's owner had already
+    /// left — deadline expiry or a wake from another bucket in the same
+    /// instant).
+    pub wasted_wakes: u64,
+}
+
+struct Bucket {
+    /// Exact number of parkers currently registered (fast no-waiter skip on
+    /// the commit path).
+    waiters: AtomicU32,
+    list: Mutex<Vec<Arc<EventCount>>>,
+}
+
+/// The runtime-wide table of commit wait buckets (see the module docs).
+pub(crate) struct StripeWaitlist {
+    buckets: Box<[Bucket]>,
+    mask: usize,
+    parked_waits: AtomicU64,
+    woken: AtomicU64,
+    timed_out: AtomicU64,
+    changed_before_park: AtomicU64,
+    wakes_issued: AtomicU64,
+    threads_woken: AtomicU64,
+    wasted_wakes: AtomicU64,
+}
+
+impl StripeWaitlist {
+    /// Creates a waitlist covering `stripes` orec stripes (a power of two).
+    pub(crate) fn new(stripes: usize) -> Self {
+        let n = stripes.clamp(1, MAX_BUCKETS);
+        debug_assert!(n.is_power_of_two());
+        let buckets: Vec<Bucket> = (0..n)
+            .map(|_| Bucket {
+                waiters: AtomicU32::new(0),
+                list: Mutex::new(Vec::new()),
+            })
+            .collect();
+        StripeWaitlist {
+            buckets: buckets.into_boxed_slice(),
+            mask: n - 1,
+            parked_waits: AtomicU64::new(0),
+            woken: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            changed_before_park: AtomicU64::new(0),
+            wakes_issued: AtomicU64::new(0),
+            threads_woken: AtomicU64::new(0),
+            wasted_wakes: AtomicU64::new(0),
+        }
+    }
+
+    /// True if some watched stripe moved past its observed version (or is
+    /// mid-install): the retrying transaction's snapshot is stale and it
+    /// should re-run rather than sleep.
+    fn changed(orecs: &OrecTable, plan: &[(usize, u64)]) -> bool {
+        plan.iter().any(|&(idx, version)| {
+            let snap = orecs.at(idx).snapshot();
+            snap.version() != version || snap.committing()
+        })
+    }
+
+    /// One bounded retry-wait round for a thread whose read set validated to
+    /// `plan` (deduplicated `(stripe, observed version)` pairs). `parker` is
+    /// the thread's own event count; the same one must be passed on every
+    /// round (registration lists hold clones of it).
+    pub(crate) fn wait(
+        &self,
+        orecs: &OrecTable,
+        plan: &[(usize, u64)],
+        parker: &Arc<EventCount>,
+        deadline: Instant,
+    ) -> RetryWaitOutcome {
+        let observed = parker.version();
+        let mut buckets: Vec<usize> = plan.iter().map(|&(s, _)| s & self.mask).collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        for &b in &buckets {
+            let bucket = &self.buckets[b];
+            bucket.waiters.fetch_add(1, Ordering::SeqCst);
+            bucket.list.lock().push(Arc::clone(parker));
+        }
+        // Pairs with the fence in `notify_commit`: a committer either sees
+        // the registration above, or this validation sees its version
+        // stamps. Without it both sides could read stale state and the wake
+        // would be lost for a full deadline round.
+        fence(Ordering::SeqCst);
+        let outcome = if Self::changed(orecs, plan) {
+            self.changed_before_park.fetch_add(1, Ordering::Relaxed);
+            RetryWaitOutcome::Changed
+        } else {
+            self.parked_waits.fetch_add(1, Ordering::Relaxed);
+            match parker.wait_while_eq(observed, Some(deadline)) {
+                WaitOutcome::Advanced => {
+                    self.woken.fetch_add(1, Ordering::Relaxed);
+                    RetryWaitOutcome::Woken
+                }
+                WaitOutcome::TimedOut => {
+                    self.timed_out.fetch_add(1, Ordering::Relaxed);
+                    RetryWaitOutcome::TimedOut
+                }
+            }
+        };
+        for &b in &buckets {
+            let bucket = &self.buckets[b];
+            {
+                let mut list = bucket.list.lock();
+                if let Some(pos) = list.iter().position(|p| Arc::ptr_eq(p, parker)) {
+                    list.swap_remove(pos);
+                }
+            }
+            bucket.waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+        outcome
+    }
+
+    /// Wakes every parker registered on the buckets of `stripes`. Called by
+    /// the commit path *after* the new orec versions are installed, so a
+    /// woken (or racing) waiter always observes the stripe moved.
+    ///
+    /// Costs one atomic load per distinct bucket when nobody is waiting.
+    pub(crate) fn notify_commit(&self, stripes: &[usize]) {
+        if stripes.is_empty() {
+            return;
+        }
+        // Pairs with the fence in `wait` (see there).
+        fence(Ordering::SeqCst);
+        for (i, &stripe) in stripes.iter().enumerate() {
+            let b = stripe & self.mask;
+            // Dedup without allocating: written-stripe sets are small.
+            if stripes[..i].iter().any(|&prev| prev & self.mask == b) {
+                continue;
+            }
+            let bucket = &self.buckets[b];
+            if bucket.waiters.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            // Snapshot the parker list and wake *outside* the bucket lock:
+            // a woken waiter's first action is to re-take this lock to
+            // deregister, so advancing under it would convoy every waiter
+            // behind the committer's wake syscalls. Waking a parker whose
+            // owner already left is harmless — the owner resamples its
+            // version before the next registration, so a stale bump can at
+            // worst cost one spurious (counted) wake.
+            let parkers: Vec<Arc<EventCount>> = {
+                let list = bucket.list.lock();
+                if list.is_empty() {
+                    continue;
+                }
+                list.clone()
+            };
+            self.wakes_issued.fetch_add(1, Ordering::Relaxed);
+            let mut released = 0u64;
+            let mut wasted = 0u64;
+            for parker in &parkers {
+                let adv = parker.advance();
+                released += adv.woken as u64;
+                if adv.wake_issued && adv.woken == 0 {
+                    wasted += 1;
+                }
+            }
+            self.threads_woken.fetch_add(released, Ordering::Relaxed);
+            self.wasted_wakes.fetch_add(wasted, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the wait-op counters.
+    pub(crate) fn stats(&self) -> RetryStats {
+        RetryStats {
+            parked_waits: self.parked_waits.load(Ordering::Relaxed),
+            woken: self.woken.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            changed_before_park: self.changed_before_park.load(Ordering::Relaxed),
+            wakes_issued: self.wakes_issued.load(Ordering::Relaxed),
+            threads_woken: self.threads_woken.load(Ordering::Relaxed),
+            wasted_wakes: self.wasted_wakes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for StripeWaitlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StripeWaitlist")
+            .field("buckets", &self.buckets.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::ThreadId;
+    use std::time::Duration;
+
+    fn table_with_version(stripe: usize, version: u64) -> OrecTable {
+        let orecs = OrecTable::new(64);
+        if version > 0 {
+            let o = orecs.at(stripe);
+            assert!(o.try_lock(o.snapshot(), ThreadId::from_u16(1)));
+            o.unlock_commit(ThreadId::from_u16(1), version);
+        }
+        orecs
+    }
+
+    #[test]
+    fn stale_plan_is_caught_before_parking() {
+        let wl = StripeWaitlist::new(64);
+        let orecs = table_with_version(3, 7);
+        let parker = Arc::new(EventCount::new());
+        // Observed version 6, stripe already at 7: no sleep.
+        let outcome = wl.wait(
+            &orecs,
+            &[(3, 6)],
+            &parker,
+            Instant::now() + Duration::from_secs(30),
+        );
+        assert_eq!(outcome, RetryWaitOutcome::Changed);
+        assert_eq!(wl.stats().changed_before_park, 1);
+        assert_eq!(wl.stats().parked_waits, 0);
+    }
+
+    #[test]
+    fn unchanged_plan_times_out_at_the_deadline() {
+        let wl = StripeWaitlist::new(64);
+        let orecs = table_with_version(3, 7);
+        let parker = Arc::new(EventCount::new());
+        let deadline = Instant::now() + Duration::from_millis(20);
+        let outcome = wl.wait(&orecs, &[(3, 7)], &parker, deadline);
+        assert_eq!(outcome, RetryWaitOutcome::TimedOut);
+        assert!(Instant::now() >= deadline, "must not report expiry early");
+        let stats = wl.stats();
+        assert_eq!(stats.parked_waits, 1);
+        assert_eq!(stats.timed_out, 1);
+    }
+
+    #[test]
+    fn commit_to_a_watched_stripe_wakes_the_parker() {
+        let wl = Arc::new(StripeWaitlist::new(64));
+        let orecs = Arc::new(table_with_version(3, 7));
+        let parker = Arc::new(EventCount::new());
+        let waiter = {
+            let wl = Arc::clone(&wl);
+            let orecs = Arc::clone(&orecs);
+            let parker = Arc::clone(&parker);
+            std::thread::spawn(move || {
+                wl.wait(
+                    &orecs,
+                    &[(3, 7)],
+                    &parker,
+                    Instant::now() + Duration::from_secs(30),
+                )
+            })
+        };
+        // Deterministic handshake: the parker's own waiter count proves it
+        // is inside the futex path before the "commit" fires.
+        while parker.waiters() == 0 {
+            std::thread::yield_now();
+        }
+        // Install the new version, then notify — commit order.
+        let o = orecs.at(3);
+        assert!(o.try_lock(o.snapshot(), ThreadId::from_u16(2)));
+        o.unlock_commit(ThreadId::from_u16(2), 8);
+        wl.notify_commit(&[3]);
+        assert_eq!(waiter.join().unwrap(), RetryWaitOutcome::Woken);
+        let stats = wl.stats();
+        assert_eq!(stats.woken, 1);
+        assert_eq!(stats.wakes_issued, 1);
+        assert_eq!(stats.threads_woken, 1);
+    }
+
+    #[test]
+    fn commit_to_an_unwatched_bucket_is_a_single_load() {
+        let wl = StripeWaitlist::new(64);
+        // No waiters anywhere: notify must do nothing (and count nothing).
+        wl.notify_commit(&[0, 1, 2, 3]);
+        assert_eq!(wl.stats().wakes_issued, 0);
+    }
+
+    #[test]
+    fn empty_plan_waits_out_the_deadline() {
+        // A retry with an empty read set can never be woken; the bounded
+        // deadline is what keeps it from blocking forever.
+        let wl = StripeWaitlist::new(64);
+        let orecs = OrecTable::new(64);
+        let parker = Arc::new(EventCount::new());
+        let deadline = Instant::now() + Duration::from_millis(10);
+        let outcome = wl.wait(&orecs, &[], &parker, deadline);
+        assert_eq!(outcome, RetryWaitOutcome::TimedOut);
+    }
+
+    #[test]
+    fn deregistration_leaves_no_residue() {
+        let wl = StripeWaitlist::new(64);
+        let orecs = OrecTable::new(64);
+        let parker = Arc::new(EventCount::new());
+        let _ = wl.wait(
+            &orecs,
+            &[(1, 0), (2, 0)],
+            &parker,
+            Instant::now() + Duration::from_millis(5),
+        );
+        for bucket in wl.buckets.iter() {
+            assert_eq!(bucket.waiters.load(Ordering::SeqCst), 0);
+            assert!(bucket.list.lock().is_empty());
+        }
+        // A later commit wakes nobody and wastes nothing.
+        wl.notify_commit(&[1, 2]);
+        assert_eq!(wl.stats().wakes_issued, 0);
+        assert_eq!(wl.stats().wasted_wakes, 0);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`stamp`] — analogues of all ten STAMP configurations (bayes, genome,
 //!   intruder, kmeans ×2, labyrinth, ssca2, vacation ×2, yada) preserving
 //!   each application's transactional access pattern;
+//! * [`queue`] — blocking bounded queues and the MPMC channel churn built
+//!   on the composable `retry`/`or_else` API (DESIGN.md §9), including the
+//!   spin-retry baseline `bench_retry` measures against;
 //! * [`harness`] — the time-boxed committed-tx/s measurement used by every
 //!   figure.
 
@@ -18,9 +21,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod harness;
+pub mod queue;
 pub mod rbtree;
 pub mod stamp;
 pub mod stmbench7;
 
 pub use harness::{run_fixed_steps, run_throughput, RunConfig, RunOutcome, TxWorkload};
+pub use queue::{QueueMode, QueueWorkload, TxQueue};
 pub use rbtree::{RbTreeWorkload, TxRbTree};

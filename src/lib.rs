@@ -30,7 +30,10 @@ pub use shrink_workloads as workloads;
 pub mod prelude {
     pub use shrink_core::{Ats, AtsConfig, Pool, SchedulerKind, Serializer, Shrink, ShrinkConfig};
     pub use shrink_stm::{
-        Abort, AbortReason, BackendKind, TVar, TmRuntime, Tx, TxResult, TxScheduler, WaitPolicy,
+        atomically, Abort, AbortReason, BackendKind, RetryStats, TVar, TmRuntime, Tx, TxResult,
+        TxScheduler, WaitPolicy,
     };
-    pub use shrink_workloads::{RbTreeWorkload, TxRbTree, TxWorkload};
+    pub use shrink_workloads::{
+        QueueMode, QueueWorkload, RbTreeWorkload, TxQueue, TxRbTree, TxWorkload,
+    };
 }

@@ -110,3 +110,107 @@ fn tiny_parked_conserves_money_under_all_schedulers() {
         transfer_matrix_cell(BackendKind::Tiny, WaitPolicy::Parked, &kind);
     }
 }
+
+/// The blocking-queue cell: money moves producer-account → queue →
+/// consumer-account through a bounded [`TxQueue`], with both blocking
+/// directions exercised (producers park on a full queue, consumers on an
+/// empty one) under every scheduler. Debit+push and pop+credit are single
+/// transactions, so the total is conserved at every instant and — checked
+/// here — at the end.
+fn blocking_queue_cell(backend: BackendKind, kind: &SchedulerKind) {
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 2;
+    const COINS_PER_PRODUCER: u64 = 300;
+    const TOTAL: u64 = PRODUCERS as u64 * COINS_PER_PRODUCER;
+    const PER_CONSUMER: u64 = TOTAL / CONSUMERS as u64;
+
+    let rt = TmRuntime::builder()
+        .backend(backend)
+        // Far beyond the test length: a lost wakeup hangs loudly instead
+        // of being papered over by deadline revalidation.
+        .retry_wait(std::time::Duration::from_secs(120))
+        .scheduler_arc(kind.build())
+        .build();
+    let queue: Arc<TxQueue<u64>> = Arc::new(TxQueue::new(4));
+    let sources: Arc<Vec<TVar<i64>>> = Arc::new(
+        (0..PRODUCERS)
+            .map(|_| TVar::new(COINS_PER_PRODUCER as i64))
+            .collect(),
+    );
+    let sinks: Arc<Vec<TVar<i64>>> = Arc::new((0..CONSUMERS).map(|_| TVar::new(0)).collect());
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|c| {
+            let rt = rt.clone();
+            let queue = Arc::clone(&queue);
+            let sinks = Arc::clone(&sinks);
+            std::thread::spawn(move || {
+                for _ in 0..PER_CONSUMER {
+                    // Pop one coin and credit it, atomically; blocks while
+                    // the queue is empty.
+                    rt.run(|tx| {
+                        let coin = queue.pop(tx)?;
+                        tx.modify(&sinks[c], |v| v + coin as i64)
+                    });
+                }
+            })
+        })
+        .collect();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let rt = rt.clone();
+            let queue = Arc::clone(&queue);
+            let sources = Arc::clone(&sources);
+            std::thread::spawn(move || {
+                for _ in 0..COINS_PER_PRODUCER {
+                    // Debit one coin and push it, atomically; blocks while
+                    // the queue is full.
+                    rt.run(|tx| {
+                        tx.modify(&sources[p], |v| v - 1)?;
+                        queue.push(tx, 1)
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in producers {
+        h.join().unwrap();
+    }
+    for h in consumers {
+        h.join().unwrap();
+    }
+
+    let remaining: i64 = sources.iter().map(|a| a.snapshot()).sum();
+    let credited: i64 = sinks.iter().map(|a| a.snapshot()).sum();
+    assert_eq!(remaining, 0, "every coin left its source: {}", kind.label());
+    assert_eq!(
+        credited,
+        TOTAL as i64,
+        "conservation violated through the queue: backend={backend:?} scheduler={}",
+        kind.label()
+    );
+    assert!(
+        queue.drain_snapshot().is_empty(),
+        "exact counts drain the queue"
+    );
+    assert_eq!(
+        rt.retry_stats().timed_out,
+        0,
+        "a retry-deadline hit here is a lost wakeup: scheduler={}",
+        kind.label()
+    );
+}
+
+#[test]
+fn swiss_blocking_queue_conserves_money_under_all_schedulers() {
+    for kind in scheduler_kinds() {
+        blocking_queue_cell(BackendKind::Swiss, &kind);
+    }
+}
+
+#[test]
+fn tiny_blocking_queue_conserves_money_under_all_schedulers() {
+    for kind in scheduler_kinds() {
+        blocking_queue_cell(BackendKind::Tiny, &kind);
+    }
+}

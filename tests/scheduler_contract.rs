@@ -1,7 +1,7 @@
 //! The scheduler hook contract: every attempt is bracketed by
-//! `before_start` and exactly one of `on_commit`/`on_abort`, reads and
-//! writes are reported, and the access sets handed to the completion hooks
-//! match what the transaction did.
+//! `before_start` and exactly one of `on_commit`/`on_abort`/`on_retry_wait`,
+//! reads and writes are reported, and the access sets handed to the
+//! completion hooks match what the transaction did.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,12 +15,14 @@ struct RecordingScheduler {
     starts: AtomicU64,
     commits: AtomicU64,
     aborts: AtomicU64,
+    retry_waits: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
     /// Depth check: +1 on start, −1 on completion; must never exceed the
     /// number of threads or go negative.
     in_flight: AtomicU64,
     last_commit_sets: Mutex<(Vec<VarId>, Vec<VarId>)>,
+    last_retry_sets: Mutex<(Vec<VarId>, Vec<VarId>)>,
 }
 
 impl TxScheduler for RecordingScheduler {
@@ -44,10 +46,21 @@ impl TxScheduler for RecordingScheduler {
         *self.last_commit_sets.lock() = (reads.to_vec(), writes.to_vec());
     }
 
-    fn on_abort(&self, _ctx: &SchedCtx<'_>, _abort: &Abort, _reads: &[VarId], _writes: &[VarId]) {
+    fn on_abort(&self, _ctx: &SchedCtx<'_>, abort: &Abort, _reads: &[VarId], _writes: &[VarId]) {
+        assert!(
+            !abort.reason().is_retry(),
+            "retry attempts must complete through on_retry_wait, not on_abort"
+        );
         self.aborts.fetch_add(1, Ordering::SeqCst);
         let prev = self.in_flight.fetch_sub(1, Ordering::SeqCst);
         assert!(prev > 0, "on_abort without matching before_start");
+    }
+
+    fn on_retry_wait(&self, _ctx: &SchedCtx<'_>, reads: &[VarId], writes: &[VarId]) {
+        self.retry_waits.fetch_add(1, Ordering::SeqCst);
+        let prev = self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        assert!(prev > 0, "on_retry_wait without matching before_start");
+        *self.last_retry_sets.lock() = (reads.to_vec(), writes.to_vec());
     }
 
     fn name(&self) -> &str {
@@ -132,4 +145,36 @@ fn hook_counts_match_under_concurrency() {
         "every start completes exactly once"
     );
     assert_eq!(recorder.in_flight.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn retry_attempts_complete_through_on_retry_wait() {
+    let recorder = Arc::new(RecordingScheduler::default());
+    let rt = TmRuntime::builder()
+        .retry_wait(std::time::Duration::from_millis(1))
+        .scheduler_arc(recorder.clone())
+        .build();
+    let gate = TVar::new(0u64);
+    let scratch = TVar::new(0u64);
+    // Two bounded retry rounds, then give up: each round must fire
+    // on_retry_wait (with the attempt's access sets), never on_abort.
+    let result = rt.run_budgeted(2, |tx| {
+        tx.write(&scratch, 7)?;
+        if tx.read(&gate)? == 0 {
+            return tx.retry();
+        }
+        Ok(())
+    });
+    assert!(result.is_err(), "the gate never opens");
+    assert_eq!(recorder.retry_waits.load(Ordering::SeqCst), 2);
+    assert_eq!(recorder.aborts.load(Ordering::SeqCst), 0);
+    assert_eq!(recorder.starts.load(Ordering::SeqCst), 2);
+    assert_eq!(recorder.in_flight.load(Ordering::SeqCst), 0);
+    let (reads, writes) = recorder.last_retry_sets.lock().clone();
+    assert_eq!(reads, vec![gate.id()], "retry hook sees the read set");
+    assert_eq!(writes, vec![scratch.id()], "retry hook sees the write set");
+    // Runtime statistics keep deliberate waits apart from aborts.
+    let stats = rt.stats();
+    assert_eq!(stats.retry_waits, 2);
+    assert_eq!(stats.aborts, 0);
 }
