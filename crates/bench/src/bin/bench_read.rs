@@ -15,7 +15,13 @@
 //! 2. `tx_read/*` — one-read transactions, i.e. the orec
 //!    snapshot/validate protocol stacked on top of the same value loads;
 //! 3. `tx_scan32/*` — a 32-read transaction, amortizing per-transaction
-//!    setup to expose the per-read marginal cost.
+//!    setup to expose the per-read marginal cost;
+//! 4. `ro_read/*`, `ro_scan32/*` — the same reads on the wait-free
+//!    read-only path ([`TmRuntime::read_only`]): no orec writes, no commit
+//!    ticket, no scheduler bookkeeping (DESIGN.md §10);
+//! 5. `scan32_threads/N/{ro,tx}` — aggregate 32-read scan throughput at
+//!    1, 2 and 4 threads, read-only vs read-write, the ledger cell behind
+//!    the claim that the read-only path never loses to full transactions.
 //!
 //! Results print as a table and are written to `BENCH_read.json`
 //! (regenerated and uploaded by CI's `bench-smoke` job alongside
@@ -97,6 +103,90 @@ impl Drop for Churn {
             h.join().expect("churn writer panicked");
         }
     }
+}
+
+/// Shape of one `scan_cell` run: worker count, per-worker scan quota,
+/// timing windows, and which read path to exercise.
+struct ScanShape {
+    threads: usize,
+    per_thread: u64,
+    windows: usize,
+    read_only: bool,
+}
+
+/// Aggregate throughput (ops/s, median over the shape's windows) of the
+/// shape's workers each running its quota of 32-read scans over `vars`, on
+/// the read-only or the read-write path.
+fn scan_cell(
+    name: &str,
+    rt: &TmRuntime,
+    vars: &Arc<Vec<TVar<u64>>>,
+    shape: &ScanShape,
+    records: &mut Vec<Record>,
+) -> f64 {
+    let &ScanShape {
+        threads,
+        per_thread,
+        windows,
+        read_only,
+    } = shape;
+    let started = Instant::now();
+    let mut samples = Vec::with_capacity(windows);
+    for _ in 0..windows {
+        let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let rt = rt.clone();
+                let vars = Arc::clone(vars);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut sink = 0u64;
+                    barrier.wait();
+                    for _ in 0..per_thread {
+                        sink = sink.wrapping_add(if read_only {
+                            rt.read_only(|tx| {
+                                let mut sum = 0u64;
+                                for var in vars.iter() {
+                                    sum = sum.wrapping_add(tx.read(var)?);
+                                }
+                                Ok(sum)
+                            })
+                        } else {
+                            rt.run(|tx| {
+                                let mut sum = 0u64;
+                                for var in vars.iter() {
+                                    sum = sum.wrapping_add(tx.read(var)?);
+                                }
+                                Ok(sum)
+                            })
+                        });
+                    }
+                    std::hint::black_box(sink);
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        for h in handles {
+            h.join().expect("scan worker panicked");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        samples.push((threads as u64 * per_thread) as f64 / wall);
+    }
+    let med = median(&mut samples);
+    println!("{name:>28}  {med:>12.0} scans/s  (median of {windows} windows, {threads} threads)");
+    records.push(Record {
+        name: name.into(),
+        threads,
+        ops_per_s: med,
+        ns_per_op: Some(1e9 / med),
+        cpu_util: None,
+        victim_ops_per_s: None,
+        ctxt_per_op: None,
+        wasted_per_op: None,
+        wall_s: started.elapsed().as_secs_f64(),
+    });
+    med
 }
 
 fn main() {
@@ -192,6 +282,74 @@ fn main() {
         },
     );
 
+    // Wait-free read-only path: same reads, no orec protocol on top.
+    let ro_read_ns = probe(
+        "ro_read/1/inline_u64",
+        tx_iters,
+        windows,
+        &mut records,
+        || rt.read_only(|tx| tx.read(&inline_var)),
+    );
+    let ro_scan_ns = probe(
+        "ro_scan32/1/inline_u64",
+        tx_iters / 8,
+        windows,
+        &mut records,
+        || {
+            rt.read_only(|tx| {
+                let mut sum = 0;
+                for var in &vars {
+                    sum += tx.read(var)?;
+                }
+                Ok(sum)
+            })
+        },
+    );
+
+    // Aggregate scan throughput, read-only vs read-write, across thread
+    // counts. A fresh runtime isolates the orec-footprint accounting.
+    let scan_rt = TmRuntime::new();
+    let scan_vars = Arc::new((0..32u64).map(TVar::new).collect::<Vec<_>>());
+    let per_thread: u64 = if opts.quick { 10_000 } else { 40_000 };
+    let mut ro_by_threads = Vec::new();
+    let mut tx_by_threads = Vec::new();
+    let mut ro_zero_orecs = true;
+    let mut ro_zero_commit_tickets = true;
+    let mut ro_committed = true;
+    for &threads in &[1usize, 2, 4] {
+        let before = scan_rt.stats();
+        let ro = scan_cell(
+            &format!("scan32_threads/{threads}/ro"),
+            &scan_rt,
+            &scan_vars,
+            &ScanShape {
+                threads,
+                per_thread,
+                windows,
+                read_only: true,
+            },
+            &mut records,
+        );
+        let after = scan_rt.stats();
+        ro_zero_orecs &= after.orec_acquires == before.orec_acquires;
+        ro_zero_commit_tickets &= after.commits == before.commits;
+        ro_committed &= after.ro_commits > before.ro_commits;
+        let tx = scan_cell(
+            &format!("scan32_threads/{threads}/tx"),
+            &scan_rt,
+            &scan_vars,
+            &ScanShape {
+                threads,
+                per_thread,
+                windows,
+                read_only: false,
+            },
+            &mut records,
+        );
+        ro_by_threads.push((threads, ro));
+        tx_by_threads.push((threads, tx));
+    }
+
     // Qualitative claims (see DESIGN.md §5.3 for the shape grammar).
     shape(
         "inline seqlock snapshot is no slower than the boxed epoch path",
@@ -213,6 +371,38 @@ fn main() {
     shape(
         "per-read marginal cost in a 32-read scan undercuts a one-read transaction",
         scan_ns / 32.0 < tx_read_ns,
+    );
+    shape(
+        "a wait-free read-only read undercuts the full transactional read",
+        ro_read_ns < tx_read_ns,
+    );
+    shape(
+        "a read-only 32-scan is no slower than its read-write twin",
+        ro_scan_ns <= scan_ns,
+    );
+    shape(
+        "read-only scan throughput matches or beats read-write at every thread count",
+        ro_by_threads
+            .iter()
+            .zip(&tx_by_threads)
+            .all(|((_, ro), (_, tx))| ro >= tx),
+    );
+    // Robust on a small box: aggregate throughput must not collapse as
+    // threads are added, even if it cannot scale past the core count.
+    let ro_single = ro_by_threads[0].1;
+    shape(
+        "adding reader threads never collapses aggregate read-only throughput",
+        ro_by_threads.iter().all(|(_, ro)| *ro >= 0.4 * ro_single),
+    );
+    // Deterministic footprint claims, from the stats ledger rather than
+    // timing: the read-only cells took no locks and no commit tickets.
+    shape(
+        "read-only scan cells perform zero orec acquisitions",
+        ro_zero_orecs,
+    );
+    shape(
+        "read-only scan cells take zero read-write commit tickets",
+        ro_zero_commit_tickets && ro_committed,
     );
 
     write_json("BENCH_read.json", "read", opts.quick, &records);

@@ -104,6 +104,12 @@ impl fmt::Debug for Ats {
 
 impl TxScheduler for Ats {
     fn before_start(&self, ctx: &SchedCtx<'_>) {
+        // Read-only transactions cannot conflict, so they never serialize —
+        // and they must not create thread state, or a pure reader would show
+        // up in the intensity table.
+        if ctx.kind.is_read_only() {
+            return;
+        }
         let slot = self.threads.get(ctx.thread);
         let serialized = slot.lock().contention_intensity > self.config.threshold;
         if serialized {
@@ -112,6 +118,11 @@ impl TxScheduler for Ats {
     }
 
     fn on_commit(&self, ctx: &SchedCtx<'_>, _reads: &[VarId], _writes: &[VarId]) {
+        // A read-only completion carries no contention signal: decaying the
+        // intensity here would let a reader launder a writer's abort history.
+        if ctx.kind.is_read_only() {
+            return;
+        }
         let slot = self.threads.get(ctx.thread);
         {
             let mut s = slot.lock();
@@ -145,13 +156,21 @@ impl TxScheduler for Ats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shrink_stm::{AbortReason, NoEpochs, StaticWrites};
+    use shrink_stm::{AbortReason, NoEpochs, StaticWrites, TxnKind};
 
     fn ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
         SchedCtx {
             thread: ThreadId::from_u16(thread),
             visible: oracle,
             epochs: &NoEpochs,
+            kind: TxnKind::ReadWrite,
+        }
+    }
+
+    fn ro_ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
+        SchedCtx {
+            kind: TxnKind::ReadOnly,
+            ..ctx(thread, oracle)
         }
     }
 
@@ -215,6 +234,45 @@ mod tests {
         ats.on_retry_wait(&c, &[], &[]);
         assert_eq!(ats.wait_count(), 0, "retry wait releases the queue");
         assert_eq!(ats.contention_intensity(t), Some(intensity));
+    }
+
+    #[test]
+    fn read_only_transactions_are_invisible() {
+        let ats = Ats::new(AtsConfig::default());
+        let oracle = StaticWrites::new();
+        let c = ro_ctx(1, &oracle);
+        for _ in 0..20 {
+            ats.before_start(&c);
+            ats.on_commit(&c, &[], &[]);
+        }
+        assert_eq!(
+            ats.contention_intensity(ThreadId::from_u16(1)),
+            None,
+            "a pure reader must not even create intensity state"
+        );
+        assert_eq!(ats.wait_count(), 0);
+    }
+
+    #[test]
+    fn read_only_commits_do_not_decay_a_writers_intensity() {
+        let ats = Ats::new(AtsConfig::default());
+        let oracle = StaticWrites::new();
+        let rw = ctx(1, &oracle);
+        let ro = ro_ctx(1, &oracle);
+        let t = ThreadId::from_u16(1);
+        ats.before_start(&rw);
+        ats.on_abort(&rw, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        let intensity = ats.contention_intensity(t).unwrap();
+        assert!(intensity > 0.0);
+        for _ in 0..8 {
+            ats.before_start(&ro);
+            ats.on_commit(&ro, &[], &[]);
+        }
+        assert_eq!(
+            ats.contention_intensity(t),
+            Some(intensity),
+            "read-only completions must not launder abort history"
+        );
     }
 
     #[test]

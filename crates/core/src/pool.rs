@@ -69,12 +69,22 @@ impl fmt::Debug for Pool {
 
 impl TxScheduler for Pool {
     fn before_start(&self, ctx: &SchedCtx<'_>) {
+        // Read-only transactions take no locks and cannot face contention;
+        // even a contended thread runs its reads outside the queue.
+        if ctx.kind.is_read_only() {
+            return;
+        }
         if self.contended.get(ctx.thread).load(Ordering::Relaxed) {
             self.lock.acquire(ctx.thread);
         }
     }
 
     fn on_commit(&self, ctx: &SchedCtx<'_>, _reads: &[VarId], _writes: &[VarId]) {
+        // A read-only completion must not clear the contended flag — the
+        // thread's next read-write attempt still owes the queue a pass.
+        if ctx.kind.is_read_only() {
+            return;
+        }
         self.contended
             .get(ctx.thread)
             .store(false, Ordering::Relaxed);
@@ -103,13 +113,21 @@ impl TxScheduler for Pool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shrink_stm::{AbortReason, NoEpochs, StaticWrites, ThreadId};
+    use shrink_stm::{AbortReason, NoEpochs, StaticWrites, ThreadId, TxnKind};
 
     fn ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
         SchedCtx {
             thread: ThreadId::from_u16(thread),
             visible: oracle,
             epochs: &NoEpochs,
+            kind: TxnKind::ReadWrite,
+        }
+    }
+
+    fn ro_ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
+        SchedCtx {
+            kind: TxnKind::ReadOnly,
+            ..ctx(thread, oracle)
         }
     }
 
@@ -154,6 +172,29 @@ mod tests {
         pool.before_start(&c);
         assert_eq!(pool.wait_count(), 1, "contended flag survives the wait");
         pool.on_commit(&c, &[], &[]);
+    }
+
+    #[test]
+    fn read_only_transactions_bypass_the_queue_and_keep_the_flag() {
+        let pool = Pool::new();
+        let oracle = StaticWrites::new();
+        let rw = ctx(1, &oracle);
+        let ro = ro_ctx(1, &oracle);
+        // Mark the thread contended with a real abort.
+        pool.before_start(&rw);
+        pool.on_abort(&rw, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        // Read-only brackets run free even while the thread is contended...
+        for _ in 0..5 {
+            pool.before_start(&ro);
+            assert_eq!(pool.wait_count(), 0, "readers never serialize");
+            pool.on_commit(&ro, &[], &[]);
+        }
+        // ...and do not clear the flag: the next read-write attempt still
+        // pays the serialization toll.
+        pool.before_start(&rw);
+        assert_eq!(pool.wait_count(), 1, "contended flag survives ro commits");
+        pool.on_commit(&rw, &[], &[]);
+        assert_eq!(pool.wait_count(), 0);
     }
 
     #[test]

@@ -292,6 +292,13 @@ impl fmt::Debug for Shrink {
 
 impl TxScheduler for Shrink {
     fn before_start(&self, ctx: &SchedCtx<'_>) {
+        if ctx.kind.is_read_only() {
+            // A read-only transaction can neither cause nor lose a conflict:
+            // no prediction, no serialization, and no per-thread state is
+            // created or touched for it (the success-rate EMA must only ever
+            // see read-write attempts).
+            return;
+        }
         self.with_state(ctx.thread, |slot| {
             let mut s = slot.lock();
 
@@ -357,6 +364,13 @@ impl TxScheduler for Shrink {
     }
 
     fn on_commit(&self, ctx: &SchedCtx<'_>, reads: &[VarId], writes: &[VarId]) {
+        if ctx.kind.is_read_only() {
+            // Completion of a read-only transaction: no lock was acquired in
+            // `before_start`, and folding it into the success rate or
+            // rotating the locality ring would dilute the read-write history
+            // the predictions are built from.
+            return;
+        }
         self.with_state(ctx.thread, |slot| {
             let mut s = slot.lock();
             s.succ_rate = (s.succ_rate + self.config.success) / 2.0;
@@ -423,13 +437,14 @@ impl TxScheduler for Shrink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shrink_stm::{AbortReason, NoEpochs, StaticWrites};
+    use shrink_stm::{AbortReason, NoEpochs, StaticWrites, TxnKind};
 
     fn ctx<'a>(thread: u16, oracle: &'a StaticWrites) -> SchedCtx<'a> {
         SchedCtx {
             thread: ThreadId::from_u16(thread),
             visible: oracle,
             epochs: &NoEpochs,
+            kind: TxnKind::ReadWrite,
         }
     }
 
@@ -645,6 +660,43 @@ mod tests {
         assert_eq!(stats.read_predicted, 2);
         assert_eq!(stats.read_correct, 1);
         assert_eq!(stats.read_accuracy(), Some(0.5));
+    }
+
+    #[test]
+    fn read_only_transactions_are_invisible() {
+        let s = Shrink::new(ShrinkConfig::default());
+        let oracle = StaticWrites::new();
+        let mut c = ctx(1, &oracle);
+        c.kind = TxnKind::ReadOnly;
+        for _ in 0..20 {
+            s.before_start(&c);
+            s.on_commit(&c, &[], &[]);
+        }
+        // No per-thread state was even created: the success-rate EMA, the
+        // locality ring and the prediction counters never saw the reader.
+        assert_eq!(s.success_rate(ThreadId::from_u16(1)), None);
+        assert_eq!(s.prediction_stats(), PredictionStats::default());
+        assert_eq!(s.wait_count(), 0);
+    }
+
+    #[test]
+    fn read_only_completion_does_not_disturb_a_struggling_thread() {
+        // A thread mixing read-write aborts with read-only scans: the scans
+        // must leave the decayed success rate exactly where it was.
+        let s = Shrink::new(ShrinkConfig::default());
+        let oracle = StaticWrites::new();
+        let c = ctx(1, &oracle);
+        let t = ThreadId::from_u16(1);
+        s.before_start(&c);
+        s.on_abort(&c, &Abort::new(AbortReason::WriteConflict), &[], &[]);
+        assert_eq!(s.success_rate(t), Some(0.5));
+        let mut ro = ctx(1, &oracle);
+        ro.kind = TxnKind::ReadOnly;
+        for _ in 0..8 {
+            s.before_start(&ro);
+            s.on_commit(&ro, &[], &[]);
+        }
+        assert_eq!(s.success_rate(t), Some(0.5), "scans must not heal the EMA");
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! Neither path acquires a mutex or rwlock. Combined with the orec
 //! validate-read-validate protocol this gives torn-read-free, safe
 //! snapshots without a per-variable lock.
+//!
+//! This load path is what makes the wait-free read-only mode
+//! ([`TmRuntime::read_only`](crate::TmRuntime::read_only)) possible: a
+//! `ReadTx` read is exactly `orec snapshot → ValueCell::load → orec
+//! re-snapshot`, with no shared-state write anywhere on the path.
 
 use std::fmt;
 use std::marker::PhantomData;

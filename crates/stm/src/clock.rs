@@ -4,6 +4,12 @@
 //! clock when they start, validate the versions of everything they read
 //! against that snapshot, and writers advance the clock at commit to stamp
 //! the ownership records they release.
+//!
+//! Only writers ever advance the clock. Read-only transactions
+//! ([`TmRuntime::read_only`](crate::TmRuntime::read_only)) call
+//! [`GlobalClock::now`] — at begin and during timestamp extension — and
+//! never [`GlobalClock::tick`]: a reader takes no commit ticket, so the
+//! clock cache line is written only by threads that actually publish data.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -21,7 +21,13 @@
 //! * composable blocking ([`Tx::retry`] / [`Tx::or_else`] /
 //!   [`atomically`]): transactions that wait for a predicate over `TVar`s
 //!   park on per-stripe commit event counts instead of abort-spinning, and
-//!   alternatives roll back only their own branch (DESIGN.md §9).
+//!   alternatives roll back only their own branch (DESIGN.md §9);
+//! * wait-free read-only transactions
+//!   ([`TmRuntime::read_only`](runtime::TmRuntime::read_only)): declared
+//!   readers snapshot the clock once and validate per read with **zero orec
+//!   writes, zero commit ticket, zero waitlist registration** — they never
+//!   abort a writer and are invisible to the schedulers (DESIGN.md §10).
+//!   Read-path code generic over [`TxRead`] runs on both paths.
 //!
 //! ## Quick start
 //!
@@ -49,7 +55,8 @@
 //!      │   ├── OrecTable            (striped versioned write locks, visible writes)
 //!      │   ├── ThreadRegistry       (ThreadCtx: kill flags, counters)
 //!      │   └── Arc<dyn TxScheduler> (policy hooks; NoopScheduler by default)
-//!      └── run(body) ──────────────► Tx (read/write/commit protocol)
+//!      ├── run(body) ──────────────► Tx (read/write/commit protocol)
+//!      └── read_only(body) ────────► ReadTx (wait-free snapshot reads)
 //! TVar<T> ── ValueCell<T>           (lock-free snapshots: inline seqlock
 //!      │                             for small dropless types, epoch-
 //!      └── reclaimed box otherwise; see DESIGN.md §7)
@@ -76,7 +83,7 @@ pub mod varid;
 pub mod visible;
 pub mod waitlist;
 
-pub use config::{BackendKind, CmPolicy, TmConfig, WaitPolicy};
+pub use config::{BackendKind, CmPolicy, TmConfig, TxnKind, WaitPolicy};
 pub use epoch::{AttemptEpochs, EpochTable, EpochWaitOutcome, NoEpochs};
 pub use error::{Abort, AbortReason, TxResult};
 pub use runtime::{atomically, quiesce, RetryLimitExceeded, TmBuilder, TmRuntime};
@@ -85,7 +92,7 @@ pub use stats::{ThreadStats, TmStats};
 pub use tarray::TArray;
 pub use thread::ThreadId;
 pub use tvar::{TVar, TxValue};
-pub use txn::Tx;
+pub use txn::{ReadTx, Tx, TxRead};
 pub use varid::VarId;
 pub use visible::{StaticWrites, VisibleWrites};
 pub use waitlist::RetryStats;

@@ -9,15 +9,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::backoff::retry_backoff;
+use crate::backoff::{pause, retry_backoff};
 use crate::clock::GlobalClock;
-use crate::config::{BackendKind, CmPolicy, TmConfig, WaitPolicy};
+use crate::config::{BackendKind, CmPolicy, TmConfig, TxnKind, WaitPolicy};
 use crate::error::{AbortReason, TxResult};
 use crate::orec::OrecTable;
 use crate::sched::{NoopScheduler, SchedCtx, TxScheduler};
 use crate::stats::{ThreadStats, TmStats};
 use crate::thread::{ThreadCtx, ThreadRegistry};
-use crate::txn::Tx;
+use crate::txn::{ReadTx, Tx};
 use crate::visible::VisibleWrites;
 use crate::waitlist::{RetryStats, StripeWaitlist};
 
@@ -356,6 +356,86 @@ impl TmRuntime {
         })
     }
 
+    /// Runs `body` as a **wait-free read-only transaction**, restarting it
+    /// on snapshot invalidation until it observes a consistent snapshot,
+    /// and returns its result.
+    ///
+    /// The body receives a [`ReadTx`]: a reader that snapshots the global
+    /// clock once, reads versioned cells through the lock-free
+    /// `ValueCell::load` path and revalidates per read. Compared to
+    /// [`run`](TmRuntime::run) with a non-writing body, `read_only` skips
+    /// everything writer-facing:
+    ///
+    /// * **zero orec writes** — it never locks a stripe, so it can never
+    ///   conflict with, delay, kill or be killed by a writer;
+    /// * **zero commit ticket** — the global clock is read, never ticked;
+    /// * **zero waitlist registration** — there is no retry/blocking
+    ///   support; a read-only body that cannot proceed should return its
+    ///   "not ready" answer and let the caller decide;
+    /// * **invisible to the scheduler** — the single
+    ///   `before_start`/`on_commit` hook pair fires with
+    ///   [`TxnKind::ReadOnly`], which Shrink/ATS/Serializer treat as "skip
+    ///   conflict bookkeeping", and internal restarts fire no hooks at all.
+    ///
+    /// Restarts are accounted as `ro_revalidations` (never as aborts) in
+    /// [`stats`](TmRuntime::stats); completions as `ro_commits`.
+    ///
+    /// The body may run many times; it must be idempotent apart from its
+    /// reads.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shrink_stm::{TmRuntime, TVar};
+    ///
+    /// let rt = TmRuntime::new();
+    /// let a = TVar::new(3u64);
+    /// let b = TVar::new(4u64);
+    /// let sum = rt.read_only(|tx| Ok(tx.read(&a)? + tx.read(&b)?));
+    /// assert_eq!(sum, 7);
+    /// let stats = rt.stats();
+    /// assert_eq!(stats.ro_commits, 1);
+    /// assert_eq!(stats.commits, 0, "read-only is not a commit");
+    /// ```
+    pub fn read_only<T>(&self, mut body: impl FnMut(&mut ReadTx<'_>) -> TxResult<T>) -> T {
+        let ctx = self.current_ctx();
+        let inner = &*self.inner;
+        // One bracket per read-only transaction, kind-tagged: internal
+        // snapshot restarts are invisible to the scheduler.
+        let sched_ctx = SchedCtx {
+            thread: ctx.id(),
+            visible: &inner.orecs,
+            epochs: &inner.registry,
+            kind: TxnKind::ReadOnly,
+        };
+        inner.scheduler.before_start(&sched_ctx);
+        let mut restarts: u32 = 0;
+        loop {
+            let mut tx = ReadTx::begin(inner, ctx.id());
+            let outcome = body(&mut tx);
+            let (reads, revalidations) = tx.counters();
+            ctx.ro_reads.fetch_add(reads, Ordering::Relaxed);
+            ctx.ro_revalidations
+                .fetch_add(revalidations, Ordering::Relaxed);
+            match outcome {
+                Ok(value) => {
+                    ctx.ro_commits.fetch_add(1, Ordering::Relaxed);
+                    inner.scheduler.on_commit(&sched_ctx, &[], &[]);
+                    return value;
+                }
+                Err(_) => {
+                    // A concurrent writer invalidated the snapshot (or the
+                    // body asked to restart). Not an abort — no lock was
+                    // held, no writer was harmed. Grant the writer a short
+                    // pause, then re-run on a fresh snapshot.
+                    ctx.ro_revalidations.fetch_add(1, Ordering::Relaxed);
+                    restarts = restarts.saturating_add(1);
+                    pause(inner.config.wait_policy, restarts);
+                }
+            }
+        }
+    }
+
     fn run_attempts<T>(
         &self,
         max_attempts: u64,
@@ -371,6 +451,7 @@ impl TmRuntime {
                 thread: ctx.id(),
                 visible: &inner.orecs,
                 epochs: &inner.registry,
+                kind: TxnKind::ReadWrite,
             };
             inner.scheduler.before_start(&sched_ctx);
             let mut tx = Tx::begin(inner, &ctx);
@@ -449,6 +530,10 @@ impl TmRuntime {
                 commits: ctx.commit_count(),
                 aborts: ctx.abort_count(),
                 retry_waits: ctx.retry_wait_count(),
+                ro_commits: ctx.ro_commit_count(),
+                ro_reads: ctx.ro_read_count(),
+                ro_revalidations: ctx.ro_revalidation_count(),
+                orec_acquires: ctx.orec_acquire_count(),
             })
             .collect();
         TmStats::from_threads(per_thread)
@@ -749,6 +834,86 @@ mod tests {
         }
         let total: i64 = accounts.iter().map(|a| a.snapshot()).sum();
         assert_eq!(total, ACCOUNTS as i64 * 1000, "money must be conserved");
+    }
+
+    #[test]
+    fn read_only_observes_committed_state_without_orec_writes() {
+        let rt = TmRuntime::new();
+        let vars: Vec<TVar<u64>> = (0..8).map(TVar::new).collect();
+        let sum = rt.read_only(|tx| {
+            let mut total = 0;
+            for v in &vars {
+                total += tx.read(v)?;
+            }
+            Ok(total)
+        });
+        assert_eq!(sum, 28);
+        let stats = rt.stats();
+        assert_eq!(stats.ro_commits, 1);
+        assert_eq!(stats.ro_reads, 8);
+        assert_eq!(stats.commits, 0, "no commit ticket was taken");
+        assert_eq!(stats.aborts, 0);
+        assert_eq!(stats.orec_acquires, 0, "wait-free: zero orec writes");
+        assert_eq!(
+            rt.retry_stats().parked_waits,
+            0,
+            "zero waitlist registration"
+        );
+    }
+
+    #[test]
+    fn read_only_interleaves_with_writers_on_one_thread() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(0u64);
+        for round in 1..=10u64 {
+            rt.run(|tx| tx.write(&v, round));
+            let seen = rt.read_only(|tx| tx.read(&v));
+            assert_eq!(seen, round);
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.commits, 10);
+        assert_eq!(stats.ro_commits, 10);
+    }
+
+    #[test]
+    fn read_only_restart_is_a_revalidation_not_an_abort() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(7u64);
+        let mut first = true;
+        let got = rt.read_only(|tx| {
+            if first {
+                first = false;
+                return tx.restart();
+            }
+            tx.read(&v)
+        });
+        assert_eq!(got, 7);
+        let stats = rt.stats();
+        assert_eq!(stats.ro_commits, 1);
+        assert!(stats.ro_revalidations >= 1, "the restart is accounted");
+        assert_eq!(stats.aborts, 0, "restarts never masquerade as conflicts");
+    }
+
+    #[test]
+    fn read_only_reads_through_a_held_write_lock() {
+        // A writer that holds the stripe but has not begun committing must
+        // not delay a read-only reader: buffered writes leave the committed
+        // value in the cell. Exercised on both backends — the read-only
+        // path reads through non-committing locks regardless of backend.
+        for backend in [BackendKind::Swiss, BackendKind::Tiny] {
+            let rt = TmRuntime::builder().backend(backend).build();
+            let v = TVar::new(1u64);
+            rt.run(|tx| {
+                tx.write(&v, 2)?;
+                // Stripe is locked by this thread right now; the read-only
+                // snapshot still sees the committed value instantly.
+                let seen = rt.read_only(|ro| ro.read(&v));
+                assert_eq!(seen, 1, "buffered write must not leak ({backend})");
+                Ok(())
+            });
+            assert_eq!(v.snapshot(), 2);
+            assert_eq!(rt.stats().ro_commits, 1);
+        }
     }
 
     #[test]

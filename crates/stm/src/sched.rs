@@ -32,6 +32,7 @@
 
 use std::fmt;
 
+use crate::config::TxnKind;
 use crate::epoch::AttemptEpochs;
 use crate::error::Abort;
 use crate::thread::ThreadId;
@@ -52,6 +53,11 @@ pub struct SchedCtx<'a> {
     pub visible: &'a dyn VisibleWrites,
     /// Per-thread attempt epochs: read, and park until one advances.
     pub epochs: &'a dyn AttemptEpochs,
+    /// What the transaction declared itself to be. Schedulers must skip
+    /// conflict bookkeeping (success rates, contention intensity,
+    /// serialization) for [`TxnKind::ReadOnly`]: a read-only transaction
+    /// can neither cause nor lose a write conflict.
+    pub kind: TxnKind,
 }
 
 impl fmt::Debug for SchedCtx<'_> {
@@ -78,6 +84,13 @@ impl fmt::Debug for SchedCtx<'_> {
 /// * A scheduler that acquires a lock in `before_start` **must** release it
 ///   in all three completion hooks (`on_commit`, `on_abort`,
 ///   `on_retry_wait`).
+/// * A *read-only* transaction
+///   ([`TmRuntime::read_only`](crate::TmRuntime::read_only)) fires exactly
+///   one `before_start`/`on_commit` pair with
+///   [`SchedCtx::kind`] set to [`TxnKind::ReadOnly`] — internal snapshot
+///   restarts are invisible — and never fires `on_read`, `on_write`,
+///   `on_abort` or `on_retry_wait`. Schedulers must not serialize or book
+///   conflicts for these.
 pub trait TxScheduler: Send + Sync + fmt::Debug {
     /// Called once when a thread registers with the runtime.
     fn on_thread_register(&self, thread: ThreadId) {
@@ -162,6 +175,7 @@ mod tests {
             thread: ThreadId::from_raw(1),
             visible: &oracle,
             epochs: &crate::epoch::NoEpochs,
+            kind: TxnKind::ReadWrite,
         };
         s.on_thread_register(ctx.thread);
         s.before_start(&ctx);

@@ -24,10 +24,29 @@ pub struct ThreadStats {
     /// wait outcomes down). Deliberate blocking is not a conflict: it is
     /// counted here, never in `aborts`.
     pub retry_waits: u64,
+    /// Read-only transactions completed via
+    /// [`TmRuntime::read_only`](crate::TmRuntime::read_only). Counted apart
+    /// from `commits`: a read-only transaction never competes for orecs, so
+    /// it must not inflate the success rates that scheduler policies
+    /// (Shrink's success-rate decay, ATS's contention intensity) feed on.
+    pub ro_commits: u64,
+    /// Individual reads performed inside read-only transactions.
+    pub ro_reads: u64,
+    /// Read-only snapshot revalidations: timestamp extensions plus
+    /// whole-body restarts forced by concurrent writers. Never counted as
+    /// aborts.
+    pub ro_revalidations: u64,
+    /// Orec stripes write-locked by this thread. Zero for a pure reader —
+    /// the wait-free read-only claim, asserted by tests.
+    pub orec_acquires: u64,
 }
 
 impl ThreadStats {
     /// Commits divided by total attempts; 1.0 for an idle thread.
+    ///
+    /// Read-only transactions are excluded on both sides of the ratio: they
+    /// can neither abort nor cause aborts, so they carry no information
+    /// about conflict pressure.
     pub fn success_ratio(&self) -> f64 {
         let total = self.commits + self.aborts;
         if total == 0 {
@@ -59,6 +78,16 @@ pub struct TmStats {
     /// Total attempts that ended in [`Tx::retry`](crate::Tx::retry)
     /// (deliberate blocking, counted apart from conflict aborts).
     pub retry_waits: u64,
+    /// Total read-only transactions completed
+    /// ([`TmRuntime::read_only`](crate::TmRuntime::read_only)); kept apart
+    /// from `commits` so conflict accounting stays read-write only.
+    pub ro_commits: u64,
+    /// Total reads performed inside read-only transactions.
+    pub ro_reads: u64,
+    /// Total read-only snapshot revalidations (extensions + restarts).
+    pub ro_revalidations: u64,
+    /// Total orec stripes write-locked across all threads.
+    pub orec_acquires: u64,
     /// Per-thread breakdown.
     pub per_thread: Vec<ThreadStats>,
 }
@@ -69,10 +98,18 @@ impl TmStats {
         let commits = per_thread.iter().map(|t| t.commits).sum();
         let aborts = per_thread.iter().map(|t| t.aborts).sum();
         let retry_waits = per_thread.iter().map(|t| t.retry_waits).sum();
+        let ro_commits = per_thread.iter().map(|t| t.ro_commits).sum();
+        let ro_reads = per_thread.iter().map(|t| t.ro_reads).sum();
+        let ro_revalidations = per_thread.iter().map(|t| t.ro_revalidations).sum();
+        let orec_acquires = per_thread.iter().map(|t| t.orec_acquires).sum();
         TmStats {
             commits,
             aborts,
             retry_waits,
+            ro_commits,
+            ro_reads,
+            ro_revalidations,
+            orec_acquires,
             per_thread,
         }
     }
@@ -106,6 +143,12 @@ impl TmStats {
             commits: self.commits.saturating_sub(earlier.commits),
             aborts: self.aborts.saturating_sub(earlier.aborts),
             retry_waits: self.retry_waits.saturating_sub(earlier.retry_waits),
+            ro_commits: self.ro_commits.saturating_sub(earlier.ro_commits),
+            ro_reads: self.ro_reads.saturating_sub(earlier.ro_reads),
+            ro_revalidations: self
+                .ro_revalidations
+                .saturating_sub(earlier.ro_revalidations),
+            orec_acquires: self.orec_acquires.saturating_sub(earlier.orec_acquires),
             per_thread: Vec::new(),
         }
     }
@@ -133,6 +176,10 @@ mod tests {
             commits,
             aborts,
             retry_waits: 0,
+            ro_commits: 0,
+            ro_reads: 0,
+            ro_revalidations: 0,
+            orec_acquires: 0,
         }
     }
 
@@ -175,6 +222,36 @@ mod tests {
             ..TmStats::default()
         };
         assert_eq!(s.since(&early).retry_waits, 6);
+    }
+
+    #[test]
+    fn read_only_counters_stay_out_of_conflict_accounting() {
+        let mut a = ts(1, 10, 2);
+        a.ro_commits = 100;
+        a.ro_reads = 3200;
+        a.ro_revalidations = 5;
+        a.orec_acquires = 12;
+        let mut b = ts(2, 0, 0);
+        b.ro_commits = 50;
+        b.ro_reads = 1600;
+        let s = TmStats::from_threads(vec![a, b]);
+        assert_eq!(s.ro_commits, 150);
+        assert_eq!(s.ro_reads, 4800);
+        assert_eq!(s.ro_revalidations, 5);
+        assert_eq!(s.orec_acquires, 12);
+        // The conflict-facing ratios never see read-only traffic.
+        assert_eq!(s.commits, 10);
+        assert_eq!(s.aborts, 2);
+        assert!((s.success_ratio() - 10.0 / 12.0).abs() < 1e-12);
+        assert_eq!(b.success_ratio(), 1.0, "pure reader is neutral");
+        let early = TmStats {
+            ro_commits: 30,
+            ro_reads: 800,
+            ..TmStats::default()
+        };
+        let d = s.since(&early);
+        assert_eq!(d.ro_commits, 120);
+        assert_eq!(d.ro_reads, 4000);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::fmt;
 
 use crate::error::TxResult;
 use crate::tvar::{TVar, TxValue};
-use crate::txn::Tx;
+use crate::txn::{Tx, TxRead};
 use crate::varid::VarId;
 
 /// A fixed-length array of transactional slots.
@@ -70,6 +70,10 @@ impl<T: TxValue> TArray<T> {
 
     /// Transactionally reads slot `index`.
     ///
+    /// Generic over [`TxRead`]: works inside both a read-write transaction
+    /// ([`TmRuntime::run`](crate::TmRuntime::run)) and a wait-free
+    /// read-only one ([`TmRuntime::read_only`](crate::TmRuntime::read_only)).
+    ///
     /// # Errors
     ///
     /// Propagates transactional aborts.
@@ -77,7 +81,7 @@ impl<T: TxValue> TArray<T> {
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
-    pub fn get(&self, tx: &mut Tx<'_>, index: usize) -> TxResult<T> {
+    pub fn get(&self, tx: &mut impl TxRead, index: usize) -> TxResult<T> {
         tx.read(&self.slots[index])
     }
 
@@ -109,10 +113,17 @@ impl<T: TxValue> TArray<T> {
 
     /// Transactionally reads the whole array in index order.
     ///
+    /// Generic over [`TxRead`]: from a read-only transaction this is the
+    /// consistent, version-stamped counterpart of
+    /// [`TArray::snapshot_all`] — the returned view is guaranteed valid at
+    /// the transaction's
+    /// [`start_timestamp`](crate::ReadTx::start_timestamp), and a
+    /// revalidation failure restarts the reader without touching any orec.
+    ///
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn read_all(&self, tx: &mut Tx<'_>) -> TxResult<Vec<T>> {
+    pub fn read_all(&self, tx: &mut impl TxRead) -> TxResult<Vec<T>> {
         let mut out = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
             out.push(tx.read(slot)?);
@@ -218,6 +229,23 @@ mod tests {
         let empty: TArray<u64> = TArray::new(0, 0);
         assert!(empty.snapshot_all().is_empty());
         assert!(empty.uses_inline_storage());
+    }
+
+    #[test]
+    fn read_all_works_from_a_read_only_transaction() {
+        let rt = TmRuntime::new();
+        let a = TArray::from_values([1u64, 2, 3, 4]);
+        rt.run(|tx| a.set(tx, 2, 30));
+        let (view, stamp) = rt.read_only(|tx| {
+            let view = a.read_all(tx)?;
+            Ok((view, tx.start_timestamp()))
+        });
+        assert_eq!(view, vec![1, 2, 30, 4]);
+        assert!(stamp >= 1, "the view is version-stamped");
+        // The bulk read took no locks: the only orec traffic was the
+        // earlier read-write set().
+        assert_eq!(rt.stats().orec_acquires, 1);
+        assert_eq!(rt.stats().ro_reads, 4);
     }
 
     #[test]

@@ -102,6 +102,21 @@ pub struct ThreadCtx {
     ///
     /// [`Tx::retry`]: crate::Tx::retry
     pub(crate) retry_waits: AtomicU64,
+    /// Read-only transactions completed by this thread
+    /// ([`TmRuntime::read_only`](crate::TmRuntime::read_only)). Counted
+    /// apart from `commits` so scheduler policies keyed on the read-write
+    /// success rate never see read-only traffic.
+    pub(crate) ro_commits: AtomicU64,
+    /// Individual reads performed inside read-only transactions.
+    pub(crate) ro_reads: AtomicU64,
+    /// Snapshot revalidations inside read-only transactions: timestamp
+    /// extensions plus whole-body restarts. A pure measure of how often
+    /// writers invalidated a reader's snapshot — never booked as aborts.
+    pub(crate) ro_revalidations: AtomicU64,
+    /// Orec stripes acquired (write locks taken) by this thread. A declared
+    /// read-only workload must leave this at zero — the wait-free claim,
+    /// asserted by tests through [`ThreadStats`](crate::ThreadStats).
+    pub(crate) orec_acquires: AtomicU64,
     /// This thread's retry parker: the single event count it sleeps on
     /// while blocked in [`Tx::retry`](crate::Tx::retry), registered on the
     /// wait buckets of its read set (see `waitlist.rs`). `Arc` because the
@@ -125,6 +140,10 @@ impl ThreadCtx {
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             retry_waits: AtomicU64::new(0),
+            ro_commits: AtomicU64::new(0),
+            ro_reads: AtomicU64::new(0),
+            ro_revalidations: AtomicU64::new(0),
+            orec_acquires: AtomicU64::new(0),
             retry_parker: Arc::new(EventCount::new()),
             epoch: EpochCell::default(),
         }
@@ -181,6 +200,26 @@ impl ThreadCtx {
     /// Total attempts by this thread that ended in `Tx::retry`.
     pub fn retry_wait_count(&self) -> u64 {
         self.retry_waits.load(Ordering::Relaxed)
+    }
+
+    /// Total read-only transactions completed by this thread.
+    pub fn ro_commit_count(&self) -> u64 {
+        self.ro_commits.load(Ordering::Relaxed)
+    }
+
+    /// Total reads performed inside read-only transactions.
+    pub fn ro_read_count(&self) -> u64 {
+        self.ro_reads.load(Ordering::Relaxed)
+    }
+
+    /// Total read-only snapshot revalidations (extensions + restarts).
+    pub fn ro_revalidation_count(&self) -> u64 {
+        self.ro_revalidations.load(Ordering::Relaxed)
+    }
+
+    /// Total orec stripes this thread has write-locked.
+    pub fn orec_acquire_count(&self) -> u64 {
+        self.orec_acquires.load(Ordering::Relaxed)
     }
 
     /// The current attempt epoch. Conflict paths sample this *at detection

@@ -28,6 +28,13 @@ pub(crate) struct TVarInner<T> {
 /// share between threads. For large payloads store an `Arc<Payload>` inside
 /// the `TVar` so that reads clone a pointer, not the payload.
 ///
+/// Three read paths, in increasing consistency: [`TVar::snapshot`] (latest
+/// committed value, no cross-variable consistency),
+/// [`TmRuntime::read_only`](crate::TmRuntime::read_only) (consistent
+/// multi-variable snapshot, wait-free, no locks taken), and a full
+/// [`TmRuntime::run`](crate::TmRuntime::run) transaction (consistent and
+/// composable with writes/blocking).
+///
 /// # Examples
 ///
 /// ```

@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::backoff::{parked_nap_due, pause, PARK_NAP};
-use crate::config::{BackendKind, CmPolicy, WaitPolicy};
+use crate::config::{BackendKind, CmPolicy, TxnKind, WaitPolicy};
 use crate::error::{Abort, AbortReason, TxResult};
 use crate::orec::OrecSnapshot;
 use crate::runtime::RuntimeInner;
@@ -343,6 +343,7 @@ impl<'rt> Tx<'rt> {
             thread: self.me,
             visible: &self.rt.orecs,
             epochs: &self.rt.registry,
+            kind: TxnKind::ReadWrite,
         }
     }
 
@@ -642,6 +643,9 @@ impl<'rt> Tx<'rt> {
                 self.extend()?;
             }
             if orec.try_lock(s1, self.me) {
+                self.ctx
+                    .orec_acquires
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 self.owned_orecs.insert(idx);
                 self.owned_order.push(idx);
                 return Ok(());
@@ -765,6 +769,256 @@ impl fmt::Debug for Tx<'_> {
             .field("start_ts", &self.start_ts)
             .field("reads", &self.read_vars.len())
             .field("writes", &self.write_vars.len())
+            .finish()
+    }
+}
+
+/// The read capability shared by [`Tx`] and [`ReadTx`].
+///
+/// Code that only *reads* transactional state can be written once against
+/// this trait and run both inside a full read-write transaction
+/// ([`TmRuntime::run`](crate::TmRuntime::run)) and inside the wait-free
+/// read-only mode ([`TmRuntime::read_only`](crate::TmRuntime::read_only)).
+/// The workload crates use it to route their lookup/traversal operations
+/// through either path.
+///
+/// The trait has a generic method, so it is not object-safe; take it as a
+/// generic parameter (`fn lookup(tx: &mut impl TxRead, ...)`). A
+/// `&mut Tx<'_>` reborrows into such a parameter unchanged, so existing
+/// call sites keep compiling.
+///
+/// # Examples
+///
+/// ```
+/// use shrink_stm::{TmRuntime, TVar, TxRead, TxResult};
+///
+/// fn sum(tx: &mut impl TxRead, vars: &[TVar<u64>]) -> TxResult<u64> {
+///     let mut total = 0;
+///     for v in vars {
+///         total += tx.read(v)?;
+///     }
+///     Ok(total)
+/// }
+///
+/// let rt = TmRuntime::new();
+/// let vars: Vec<TVar<u64>> = (1..=3).map(TVar::new).collect();
+/// assert_eq!(rt.run(|tx| sum(tx, &vars)), 6); // read-write path
+/// assert_eq!(rt.read_only(|tx| sum(tx, &vars)), 6); // wait-free path
+/// ```
+pub trait TxRead {
+    /// Transactionally reads `tvar`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts (for the owning retry loop to handle) when the read cannot be
+    /// added to a consistent snapshot.
+    fn read<T: TxValue>(&mut self, tvar: &TVar<T>) -> TxResult<T>;
+
+    /// What this transaction declared itself to be.
+    fn kind(&self) -> TxnKind;
+
+    /// The id of the thread running this transaction.
+    fn thread(&self) -> ThreadId;
+
+    /// The snapshot timestamp the attempt currently validates against.
+    fn start_timestamp(&self) -> u64;
+
+    /// Requests an abort-and-restart of this attempt.
+    ///
+    /// # Errors
+    ///
+    /// Always returns `Err` with [`AbortReason::UserRestart`].
+    fn restart<T>(&self) -> TxResult<T> {
+        Err(Abort::new(AbortReason::UserRestart))
+    }
+}
+
+impl TxRead for Tx<'_> {
+    fn read<T: TxValue>(&mut self, tvar: &TVar<T>) -> TxResult<T> {
+        Tx::read(self, tvar)
+    }
+
+    fn kind(&self) -> TxnKind {
+        TxnKind::ReadWrite
+    }
+
+    fn thread(&self) -> ThreadId {
+        Tx::thread(self)
+    }
+
+    fn start_timestamp(&self) -> u64 {
+        Tx::start_timestamp(self)
+    }
+}
+
+/// A wait-free read-only transaction attempt, handed to the body closure by
+/// [`TmRuntime::read_only`](crate::TmRuntime::read_only).
+///
+/// The protocol is the read half of TL2, with everything writer-facing
+/// removed:
+///
+/// * the global clock is sampled **once** at begin (`start_ts`);
+/// * every read snapshots the guarding orec, loads the value through the
+///   lock-free [`ValueCell::load`](crate::cell::ValueCell) path, and
+///   re-snapshots to confirm the stripe did not move;
+/// * a version newer than `start_ts` triggers a timestamp extension
+///   (revalidate the whole read log against the current clock); an
+///   extension that fails restarts the body with a fresh snapshot.
+///
+/// What a `ReadTx` **never** does: acquire an orec (no write lock, no CAS
+/// on shared state), take a commit ticket (`GlobalClock::tick`), register
+/// on a retry waitlist, or request a kill. Writers cannot observe it, so it
+/// can never abort one — and nothing can abort *it*; invalidated snapshots
+/// restart quietly inside `read_only`, invisible to the schedulers.
+///
+/// Unlike the read-write path, reads go *through* non-committing write
+/// locks on **both** backends (not just Swiss): buffered writes install
+/// only during the `committing` window, so a locked-but-not-committing
+/// stripe still guards the committed value under its pre-lock version. The
+/// only state a reader must wait out is `committing` itself, and that wait
+/// is bounded by `read_spin_budget` before the reader restarts.
+pub struct ReadTx<'rt> {
+    rt: &'rt RuntimeInner,
+    me: ThreadId,
+    start_ts: u64,
+    read_log: Vec<ReadEntry>,
+    /// Reads performed by this attempt (flushed to `ThreadCtx::ro_reads`).
+    reads: u64,
+    /// Timestamp extensions performed by this attempt (flushed to
+    /// `ThreadCtx::ro_revalidations`; restarts are counted by the driver).
+    revalidations: u64,
+}
+
+impl<'rt> ReadTx<'rt> {
+    pub(crate) fn begin(rt: &'rt RuntimeInner, me: ThreadId) -> Self {
+        ReadTx {
+            rt,
+            me,
+            start_ts: rt.clock.now(),
+            read_log: Vec::new(),
+            reads: 0,
+            revalidations: 0,
+        }
+    }
+
+    /// The id of the thread running this transaction.
+    pub fn thread(&self) -> ThreadId {
+        self.me
+    }
+
+    /// The snapshot timestamp the attempt currently validates against.
+    pub fn start_timestamp(&self) -> u64 {
+        self.start_ts
+    }
+
+    /// Number of reads performed by this attempt.
+    pub fn read_count(&self) -> usize {
+        self.read_log.len()
+    }
+
+    /// Requests a restart of this attempt with a fresh snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Always returns `Err` with [`AbortReason::UserRestart`].
+    pub fn restart<T>(&self) -> TxResult<T> {
+        Err(Abort::new(AbortReason::UserRestart))
+    }
+
+    /// Reads `tvar` as part of the wait-free snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Aborts with [`AbortReason::ReadValidation`] when the value cannot be
+    /// added to a consistent snapshot (a concurrent writer moved part of
+    /// the read set, or a committing installer outlasted the spin budget).
+    /// [`TmRuntime::read_only`](crate::TmRuntime::read_only) catches this
+    /// and restarts the body; it never surfaces to user code.
+    pub fn read<T: TxValue>(&mut self, tvar: &TVar<T>) -> TxResult<T> {
+        self.reads += 1;
+        let idx = self.rt.orecs.index_of(tvar.inner.id);
+        let mut spins: u32 = 0;
+        loop {
+            let orec = self.rt.orecs.at(idx);
+            let s1 = orec.snapshot();
+            if s1.committing() {
+                // The owner is installing values right now — the only
+                // window where the cell may hold uncommitted data. Grant it
+                // a bounded wait, then restart rather than lock or kill.
+                if spins >= self.rt.config.read_spin_budget {
+                    return Err(Abort::new(AbortReason::ReadValidation));
+                }
+                pause(self.rt.config.wait_policy, spins);
+                spins += 1;
+                continue;
+            }
+            // Unlocked, or locked but not yet committing: the committed
+            // value is still in the cell, guarded by the pre-lock version.
+            let value = tvar.inner.cell.load();
+            let s2 = orec.snapshot();
+            if s2 != s1 {
+                spins += 1;
+                continue;
+            }
+            if s1.version() > self.start_ts {
+                self.extend()?;
+            }
+            self.read_log.push(ReadEntry {
+                orec: idx,
+                version: s1.version(),
+            });
+            return Ok(value);
+        }
+    }
+
+    /// Revalidates the read log and, on success, moves the snapshot forward
+    /// to the current clock — the same timestamp extension as the
+    /// read-write path, minus any own-lock cases (a `ReadTx` holds none).
+    fn extend(&mut self) -> TxResult<()> {
+        self.revalidations += 1;
+        let candidate = self.rt.clock.now();
+        let valid = self.read_log.iter().all(|e| {
+            let snap = self.rt.orecs.at(e.orec).snapshot();
+            !snap.committing() && snap.version() == e.version
+        });
+        if valid {
+            self.start_ts = candidate;
+            Ok(())
+        } else {
+            Err(Abort::new(AbortReason::ReadValidation))
+        }
+    }
+
+    /// The per-attempt counters, for the driver to flush into `ThreadCtx`.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.reads, self.revalidations)
+    }
+}
+
+impl TxRead for ReadTx<'_> {
+    fn read<T: TxValue>(&mut self, tvar: &TVar<T>) -> TxResult<T> {
+        ReadTx::read(self, tvar)
+    }
+
+    fn kind(&self) -> TxnKind {
+        TxnKind::ReadOnly
+    }
+
+    fn thread(&self) -> ThreadId {
+        ReadTx::thread(self)
+    }
+
+    fn start_timestamp(&self) -> u64 {
+        ReadTx::start_timestamp(self)
+    }
+}
+
+impl fmt::Debug for ReadTx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadTx")
+            .field("thread", &self.me)
+            .field("start_ts", &self.start_ts)
+            .field("reads", &self.read_log.len())
             .finish()
     }
 }

@@ -10,7 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use shrink_stm::{TVar, TmRuntime, Tx, TxResult};
+use shrink_stm::{TVar, TmRuntime, Tx, TxRead, TxResult};
 
 use crate::harness::TxWorkload;
 
@@ -73,7 +73,7 @@ impl TxRbTree {
         }
     }
 
-    fn read_node(tx: &mut Tx<'_>, nv: &NodeVar) -> TxResult<Node> {
+    fn read_node(tx: &mut impl TxRead, nv: &NodeVar) -> TxResult<Node> {
         tx.read(&nv.0)
     }
 
@@ -83,10 +83,15 @@ impl TxRbTree {
 
     /// Looks up `key`.
     ///
+    /// Generic over [`TxRead`]: the search path is pure reads, so lookups
+    /// run equally well inside a wait-free read-only transaction
+    /// ([`TmRuntime::read_only`]) — the paper's 20%-update configuration
+    /// spends most of its operations here without touching a single orec.
+    ///
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn get(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+    pub fn get(&self, tx: &mut impl TxRead, key: u64) -> TxResult<Option<u64>> {
         let mut cur = tx.read(&self.root)?;
         while let Some(nv) = cur {
             let node = Self::read_node(tx, &nv)?;
@@ -107,7 +112,7 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn contains(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<bool> {
+    pub fn contains(&self, tx: &mut impl TxRead, key: u64) -> TxResult<bool> {
         Ok(self.get(tx, key)?.is_some())
     }
 
@@ -492,8 +497,8 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<usize> {
-        fn count(tx: &mut Tx<'_>, cur: Option<NodeVar>) -> TxResult<usize> {
+    pub fn len(&self, tx: &mut impl TxRead) -> TxResult<usize> {
+        fn count(tx: &mut impl TxRead, cur: Option<NodeVar>) -> TxResult<usize> {
             match cur {
                 None => Ok(0),
                 Some(nv) => {
@@ -511,7 +516,7 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+    pub fn is_empty(&self, tx: &mut impl TxRead) -> TxResult<bool> {
         Ok(tx.read(&self.root)?.is_none())
     }
 
@@ -520,8 +525,8 @@ impl TxRbTree {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn keys(&self, tx: &mut Tx<'_>) -> TxResult<Vec<u64>> {
-        fn walk(tx: &mut Tx<'_>, cur: Option<NodeVar>, out: &mut Vec<u64>) -> TxResult<()> {
+    pub fn keys(&self, tx: &mut impl TxRead) -> TxResult<Vec<u64>> {
+        fn walk(tx: &mut impl TxRead, cur: Option<NodeVar>, out: &mut Vec<u64>) -> TxResult<()> {
             if let Some(nv) = cur {
                 let node = tx.read(&nv.0)?;
                 walk(tx, node.left, out)?;
@@ -544,10 +549,10 @@ impl TxRbTree {
     /// outer `TxResult` carries transactional aborts, the inner `Result`
     /// carries audit failures.
     #[allow(clippy::type_complexity)]
-    pub fn check_invariants(&self, tx: &mut Tx<'_>) -> TxResult<Result<usize, String>> {
+    pub fn check_invariants(&self, tx: &mut impl TxRead) -> TxResult<Result<usize, String>> {
         // Returns (black_height, count) or an error description.
         fn audit(
-            tx: &mut Tx<'_>,
+            tx: &mut impl TxRead,
             cur: Option<NodeVar>,
             low: Option<u64>,
             high: Option<u64>,
@@ -647,12 +652,15 @@ impl TxWorkload for RbTreeWorkload {
                 rt.run(|tx| self.tree.remove(tx, key));
             }
         } else {
-            rt.run(|tx| self.tree.get(tx, key));
+            // Lookups take the wait-free path: no orec writes, no commit
+            // ticket, invisible to the scheduler.
+            rt.read_only(|tx| self.tree.get(tx, key));
         }
     }
 
     fn verify(&self, rt: &TmRuntime) -> Result<(), String> {
-        rt.run(|tx| self.tree.check_invariants(tx)).map(|_| ())
+        rt.read_only(|tx| self.tree.check_invariants(tx))
+            .map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -803,6 +811,27 @@ mod tests {
             h.join().unwrap();
         }
         audit(&rt, &tree);
+    }
+
+    #[test]
+    fn lookups_run_wait_free_in_read_only_transactions() {
+        let rt = TmRuntime::new();
+        let tree = TxRbTree::new();
+        for k in 0..64 {
+            rt.run(|tx| tree.insert(tx, k, k + 1));
+        }
+        let before = rt.stats();
+        assert_eq!(rt.read_only(|tx| tree.get(tx, 33)), Some(34));
+        assert!(rt.read_only(|tx| tree.contains(tx, 0)));
+        assert_eq!(rt.read_only(|tx| tree.keys(tx)).len(), 64);
+        assert_eq!(rt.read_only(|tx| tree.len(tx)), 64);
+        let after = rt.stats();
+        assert_eq!(
+            after.orec_acquires, before.orec_acquires,
+            "tree lookups must take no locks"
+        );
+        assert_eq!(after.ro_commits, before.ro_commits + 4);
+        assert_eq!(after.commits, before.commits, "no rw commit tickets");
     }
 
     #[test]

@@ -451,10 +451,15 @@ mod tests {
             workload.step(&rt, 0, &mut rng);
         }
         workload.verify(&rt).expect("graph must stay consistent");
-        // A T1 traversal reads every composite's part list plus the spine:
-        // with 200 read-heavy steps at 1-in-20 odds, at least one ran, which
-        // shows up as unusually large read transactions in the stats.
-        assert!(rt.stats().commits >= 200);
+        // Read operations (T1 included) run as wait-free read-only
+        // transactions; updates take the read-write path. 200 read-heavy
+        // steps must complete as one or the other.
+        let stats = rt.stats();
+        assert!(stats.ro_commits + stats.commits >= 200);
+        assert!(
+            stats.ro_commits > stats.commits,
+            "a read-dominated mix must mostly take the read-only path"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use shrink_stm::{TVar, TmRuntime, Tx, TxResult};
+use shrink_stm::{TVar, TmRuntime, Tx, TxRead, TxResult};
 
 use super::{AssemblyChildren, AtomicPart, Sb7};
 
@@ -48,10 +48,11 @@ fn random_composite(bench: &Sb7, rng: &mut StdRng) -> usize {
 }
 
 /// OP1-style index query: look a part up and read its payload and
-/// connections.
+/// connections. Pure reads, so it takes the wait-free read-only path —
+/// as do the other `st_`/`op_scan` operations below.
 fn st_query_part(bench: &Arc<Sb7>, rt: &TmRuntime, rng: &mut StdRng) {
     let id = random_part_id(bench, rng);
-    rt.run(|tx| {
+    rt.read_only(|tx| {
         if bench.part_index.get(tx, id)?.is_some() {
             if let Some(part) = bench.registry.get(id) {
                 let _ = tx.read(&part.x)?;
@@ -68,7 +69,7 @@ fn st_query_part(bench: &Arc<Sb7>, rt: &TmRuntime, rng: &mut StdRng) {
 fn st_traverse_composite(bench: &Arc<Sb7>, rt: &TmRuntime, rng: &mut StdRng) {
     let cid = random_composite(bench, rng);
     let composite = Arc::clone(&bench.composites[cid]);
-    rt.run(|tx| {
+    rt.read_only(|tx| {
         let root = tx.read(&composite.root_part)?;
         let mut visited: HashSet<u64> = HashSet::new();
         let mut frontier = vec![root];
@@ -94,7 +95,7 @@ fn st_traverse_composite(bench: &Arc<Sb7>, rt: &TmRuntime, rng: &mut StdRng) {
 /// its composites' documents.
 fn st_assembly_path(bench: &Arc<Sb7>, rt: &TmRuntime, rng: &mut StdRng) {
     let turns: u64 = rng.random();
-    rt.run(|tx| {
+    rt.read_only(|tx| {
         let mut node = Arc::clone(&bench.design_root);
         let mut turn = turns;
         let base = loop {
@@ -124,7 +125,7 @@ fn st_assembly_path(bench: &Arc<Sb7>, rt: &TmRuntime, rng: &mut StdRng) {
 fn op_scan_document(bench: &Arc<Sb7>, rt: &TmRuntime, rng: &mut StdRng) {
     let cid = random_composite(bench, rng);
     let composite = Arc::clone(&bench.composites[cid]);
-    rt.run(|tx| {
+    rt.read_only(|tx| {
         let text = tx.read(&composite.doc_text)?;
         Ok(text.bytes().filter(|&b| b == b'c').count())
     });
@@ -248,12 +249,14 @@ fn sm_swap_component(bench: &Arc<Sb7>, rt: &TmRuntime, rng: &mut StdRng) {
 /// T1: the long traversal — walk the entire assembly tree and, for every
 /// composite referenced by every base assembly, count its atomic parts.
 /// One enormous read-only transaction touching most of the design; the
-/// paper's figures all run with this operation disabled.
+/// paper's figures all run with this operation disabled. Running it on the
+/// wait-free path means it can never abort a writer, however long it takes
+/// — it restarts itself on revalidation failure instead.
 fn t1_long_traversal(bench: &Arc<Sb7>, rt: &TmRuntime) {
-    rt.run(|tx| {
+    rt.read_only(|tx| {
         fn walk(
             bench: &Arc<Sb7>,
-            tx: &mut Tx<'_>,
+            tx: &mut impl TxRead,
             node: &Arc<super::ComplexAssembly>,
         ) -> TxResult<usize> {
             let _ = tx.read(&node.date)?;

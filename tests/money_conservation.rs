@@ -1,6 +1,10 @@
 //! Serializability stress: concurrent bank transfers must conserve the
 //! total across every backend × waiting-policy × scheduler combination.
+//! A read-only auditor thread sums the accounts concurrently with the
+//! transfer writers — conservation must hold on *every* wait-free
+//! snapshot, not just at the end.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use shrink::prelude::*;
@@ -15,6 +19,33 @@ fn transfer_matrix_cell(backend: BackendKind, wait: WaitPolicy, kind: &Scheduler
         .scheduler_arc(kind.build())
         .build();
     let accounts: Arc<Vec<TVar<i64>>> = Arc::new((0..ACCOUNTS).map(|_| TVar::new(500)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let auditor = {
+        let rt = rt.clone();
+        let accounts = Arc::clone(&accounts);
+        let stop = Arc::clone(&stop);
+        let label = kind.label().to_string();
+        std::thread::spawn(move || {
+            let mut audits = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let total: i64 = rt.read_only(|tx| {
+                    let mut sum = 0;
+                    for a in accounts.iter() {
+                        sum += tx.read(a)?;
+                    }
+                    Ok(sum)
+                });
+                assert_eq!(
+                    total,
+                    ACCOUNTS as i64 * 500,
+                    "mid-flight conservation violated: backend={backend:?} \
+                     wait={wait:?} scheduler={label}"
+                );
+                audits += 1;
+            }
+            audits
+        })
+    };
     let handles: Vec<_> = (0..THREADS)
         .map(|t| {
             let rt = rt.clone();
@@ -42,6 +73,9 @@ fn transfer_matrix_cell(backend: BackendKind, wait: WaitPolicy, kind: &Scheduler
     for h in handles {
         h.join().unwrap();
     }
+    stop.store(true, Ordering::Relaxed);
+    let audits = auditor.join().unwrap();
+    assert!(audits > 0, "the auditor must have summed at least once");
     let total: i64 = accounts.iter().map(|a| a.snapshot()).sum();
     assert_eq!(
         total,
@@ -51,6 +85,16 @@ fn transfer_matrix_cell(backend: BackendKind, wait: WaitPolicy, kind: &Scheduler
     );
     let stats = rt.stats();
     assert!(stats.commits > 0, "stats must be readable: {stats}");
+    assert!(stats.ro_commits >= audits, "audits ride the read-only path");
+    // The auditor is a pure reader: it never wrote an orec or aborted.
+    for t in stats
+        .per_thread
+        .iter()
+        .filter(|t| t.ro_commits > 0 && t.commits == 0)
+    {
+        assert_eq!(t.orec_acquires, 0, "auditor wrote an orec: {t:?}");
+        assert_eq!(t.aborts, 0, "auditor aborted: {t:?}");
+    }
 }
 
 fn scheduler_kinds() -> Vec<SchedulerKind> {

@@ -6,14 +6,19 @@
 //! members are equal. TL2-style incremental validation (with timestamp
 //! extension) must make the assertion unfailable.
 //!
-//! Two tiers:
+//! Three tiers:
 //!
 //! * `snapshot_stress` — the original one-writer/three-reader shape;
 //! * `contended_snapshot_stress` — several *competing* writer threads (so
 //!   commit-time installs, aborts and orec hand-offs all race) against a
 //!   pool of readers, with every writer stamping its own tag so a torn
-//!   snapshot cannot hide behind coincidentally equal values. Set
-//!   `SHRINK_STRESS=1` to raise thread counts and rounds.
+//!   snapshot cannot hide behind coincidentally equal values;
+//! * `read_only_snapshot_stress` — the same multi-writer hammer with the
+//!   readers on the wait-free [`TmRuntime::read_only`] path, which must
+//!   deliver the identical opacity guarantees while leaving zero marks on
+//!   shared state (asserted per reader thread from the stats ledger).
+//!
+//! Set `SHRINK_STRESS=1` to raise thread counts and rounds.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -167,6 +172,152 @@ fn contended_snapshot_stress(backend: BackendKind, wait: WaitPolicy, kind: Sched
     );
 }
 
+/// The contended hammer with wait-free readers: several writers race their
+/// tags across the group while readers scan via [`TmRuntime::read_only`].
+/// Readers assert all-equal, tag validity, and within-snapshot re-read
+/// stability; afterwards the stats ledger must show that every pure-reader
+/// thread acquired zero orecs and aborted zero transactions — the
+/// wait-freedom claim, checked rather than assumed.
+fn read_only_snapshot_stress(backend: BackendKind, wait: WaitPolicy, kind: SchedulerKind) {
+    const VARS: usize = 12;
+    let writers: u64 = 4 * stress_factor().min(2);
+    let readers: usize = (3 * stress_factor().min(2)) as usize;
+    let writer_rounds: u64 = 200 * stress_factor();
+
+    let rt = TmRuntime::builder()
+        .backend(backend)
+        .wait_policy(wait)
+        .scheduler_arc(kind.build())
+        .build();
+    let vars: Arc<Vec<TVar<u64>>> = Arc::new((0..VARS).map(|_| TVar::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let rt = rt.clone();
+            let vars = Arc::clone(&vars);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observations = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let (values, again) = rt.read_only(|tx| {
+                        let mut out = Vec::with_capacity(VARS);
+                        for v in vars.iter() {
+                            out.push(tx.read(v)?);
+                        }
+                        // Re-reading inside the same snapshot must return
+                        // what the snapshot already showed (no time-travel
+                        // within one read-only transaction).
+                        let again = tx.read(&vars[0])?;
+                        Ok((out, again))
+                    });
+                    assert!(
+                        values.windows(2).all(|w| w[0] == w[1]),
+                        "torn read-only snapshot: {values:?}"
+                    );
+                    assert_eq!(again, values[0], "re-read moved within a snapshot");
+                    let tag = values[0];
+                    assert!(
+                        tag == 0 || (1..=writer_rounds).contains(&(tag / writers)),
+                        "tag {tag} not produced by any writer round"
+                    );
+                    observations += 1;
+                }
+                observations
+            })
+        })
+        .collect();
+
+    let writer_handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let rt = rt.clone();
+            let vars = Arc::clone(&vars);
+            std::thread::spawn(move || {
+                for round in 1..=writer_rounds {
+                    let tag = round * writers + w;
+                    rt.run(|tx| {
+                        for v in vars.iter() {
+                            tx.write(v, tag)?;
+                        }
+                        Ok(())
+                    });
+                }
+            })
+        })
+        .collect();
+
+    for h in writer_handles {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = reader_handles.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total > 0, "readers must have observed snapshots");
+
+    // Wait-freedom footprint: a pure reader (only ro commits) leaves no
+    // orec writes, no rw commits, no aborts — ever.
+    let stats = rt.stats();
+    let pure_readers: Vec<_> = stats
+        .per_thread
+        .iter()
+        .filter(|t| t.ro_commits > 0 && t.commits == 0)
+        .collect();
+    assert!(
+        pure_readers.len() >= readers,
+        "every reader thread must appear as a pure reader"
+    );
+    for t in pure_readers {
+        assert_eq!(t.orec_acquires, 0, "pure reader wrote an orec: {t:?}");
+        assert_eq!(t.aborts, 0, "pure reader aborted: {t:?}");
+    }
+}
+
+/// Deterministic writer/reader interleaving, single-threaded: a writer
+/// transaction commits a whole-group bump between *every* reader step
+/// while its budget lasts, so a naive reader would assemble a
+/// mixed-generation view. The read-only transaction must instead restart
+/// (visible as revalidations) until the writer budget is exhausted, and
+/// the final view must be all-old-or-all-new — here, all-new.
+#[test]
+fn deterministic_interleaving_reads_all_old_or_all_new() {
+    const VARS: usize = 8;
+    const WRITE_BUDGET: u64 = 4 * VARS as u64;
+    let rt = TmRuntime::new();
+    let vars: Vec<TVar<u64>> = (0..VARS).map(|_| TVar::new(0)).collect();
+    let budget = std::cell::Cell::new(WRITE_BUDGET);
+    let view = rt.read_only(|tx| {
+        let mut out = Vec::with_capacity(VARS);
+        for v in &vars {
+            out.push(tx.read(v)?);
+            if budget.get() > 0 {
+                budget.set(budget.get() - 1);
+                // The writer commits between every reader step,
+                // invalidating the reader's snapshot mid-scan.
+                rt.run(|wtx| {
+                    for v in &vars {
+                        wtx.modify(v, |x| x + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        }
+        Ok(out)
+    });
+    assert!(
+        view.windows(2).all(|w| w[0] == w[1]),
+        "mixed-generation view: {view:?}"
+    );
+    let stats = rt.stats();
+    // The scan can only complete once the writer budget is spent, so the
+    // consistent view is the all-new one.
+    assert_eq!(view[0], stats.commits);
+    assert!(
+        stats.ro_revalidations > 0,
+        "interleaved commits must have forced reader restarts"
+    );
+    assert_eq!(stats.ro_commits, 1, "one read-only transaction, many tries");
+    assert_eq!(stats.aborts, 0, "the writer never aborts single-threaded");
+}
+
 #[test]
 fn swiss_backend_never_shows_torn_snapshots() {
     snapshot_stress(
@@ -220,6 +371,33 @@ fn tiny_backend_survives_contended_writers() {
 #[test]
 fn shrink_scheduler_survives_contended_writers() {
     contended_snapshot_stress(
+        BackendKind::Swiss,
+        WaitPolicy::Preemptive,
+        SchedulerKind::shrink_default(),
+    );
+}
+
+#[test]
+fn swiss_read_only_readers_survive_contended_writers() {
+    read_only_snapshot_stress(
+        BackendKind::Swiss,
+        WaitPolicy::Preemptive,
+        SchedulerKind::Noop,
+    );
+}
+
+#[test]
+fn tiny_read_only_readers_survive_contended_writers() {
+    read_only_snapshot_stress(
+        BackendKind::Tiny,
+        WaitPolicy::Preemptive,
+        SchedulerKind::Noop,
+    );
+}
+
+#[test]
+fn shrink_scheduler_read_only_readers_survive_contended_writers() {
+    read_only_snapshot_stress(
         BackendKind::Swiss,
         WaitPolicy::Preemptive,
         SchedulerKind::shrink_default(),
