@@ -16,7 +16,7 @@
 //!    snapshot/validate protocol stacked on top of the same value loads;
 //! 3. `tx_scan32/*` — a 32-read transaction, amortizing per-transaction
 //!    setup to expose the per-read marginal cost;
-//! 4. `ro_read/*`, `ro_scan32/*` — the same reads on the wait-free
+//! 4. `ro_read/*`, `ro_scan32/*` — the same reads on the lock-free
 //!    read-only path ([`TmRuntime::read_only`]): no orec writes, no commit
 //!    ticket, no scheduler bookkeeping (DESIGN.md §10);
 //! 5. `scan32_threads/N/{ro,tx}` — aggregate 32-read scan throughput at
@@ -282,7 +282,7 @@ fn main() {
         },
     );
 
-    // Wait-free read-only path: same reads, no orec protocol on top.
+    // Lock-free read-only path: same reads, no orec protocol on top.
     let ro_read_ns = probe(
         "ro_read/1/inline_u64",
         tx_iters,
@@ -373,7 +373,7 @@ fn main() {
         scan_ns / 32.0 < tx_read_ns,
     );
     shape(
-        "a wait-free read-only read undercuts the full transactional read",
+        "a lock-free read-only read undercuts the full transactional read",
         ro_read_ns < tx_read_ns,
     );
     shape(

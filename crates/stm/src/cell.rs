@@ -22,7 +22,7 @@
 //! validate-read-validate protocol this gives torn-read-free, safe
 //! snapshots without a per-variable lock.
 //!
-//! This load path is what makes the wait-free read-only mode
+//! This load path is what makes the lock-free read-only mode
 //! ([`TmRuntime::read_only`](crate::TmRuntime::read_only)) possible: a
 //! `ReadTx` read is exactly `orec snapshot → ValueCell::load → orec
 //! re-snapshot`, with no shared-state write anywhere on the path.

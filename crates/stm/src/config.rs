@@ -73,7 +73,7 @@ impl fmt::Display for WaitPolicy {
 }
 
 /// What a transaction is declared to be: a full read-write transaction, or
-/// a wait-free read-only one.
+/// a lock-free read-only one.
 ///
 /// Read-only transactions (started via
 /// [`TmRuntime::read_only`](crate::TmRuntime::read_only)) snapshot the

@@ -22,7 +22,7 @@
 //!   [`atomically`]): transactions that wait for a predicate over `TVar`s
 //!   park on per-stripe commit event counts instead of abort-spinning, and
 //!   alternatives roll back only their own branch (DESIGN.md §9);
-//! * wait-free read-only transactions
+//! * lock-free read-only transactions
 //!   ([`TmRuntime::read_only`](runtime::TmRuntime::read_only)): declared
 //!   readers snapshot the clock once and validate per read with **zero orec
 //!   writes, zero commit ticket, zero waitlist registration** — they never
@@ -56,7 +56,7 @@
 //!      │   ├── ThreadRegistry       (ThreadCtx: kill flags, counters)
 //!      │   └── Arc<dyn TxScheduler> (policy hooks; NoopScheduler by default)
 //!      ├── run(body) ──────────────► Tx (read/write/commit protocol)
-//!      └── read_only(body) ────────► ReadTx (wait-free snapshot reads)
+//!      └── read_only(body) ────────► ReadTx (lock-free snapshot reads)
 //! TVar<T> ── ValueCell<T>           (lock-free snapshots: inline seqlock
 //!      │                             for small dropless types, epoch-
 //!      └── reclaimed box otherwise; see DESIGN.md §7)

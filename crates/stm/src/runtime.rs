@@ -356,7 +356,7 @@ impl TmRuntime {
         })
     }
 
-    /// Runs `body` as a **wait-free read-only transaction**, restarting it
+    /// Runs `body` as a **lock-free read-only transaction**, restarting it
     /// on snapshot invalidation until it observes a consistent snapshot,
     /// and returns its result.
     ///
@@ -381,7 +381,12 @@ impl TmRuntime {
     /// [`stats`](TmRuntime::stats); completions as `ro_commits`.
     ///
     /// The body may run many times; it must be idempotent apart from its
-    /// reads.
+    /// reads. Like [`run`](TmRuntime::run), `read_only` retries without
+    /// bound: a body that can never observe a consistent snapshot (an
+    /// unconditional [`ReadTx::restart`], or a very long scan under a
+    /// saturating writer stream) livelocks here — use
+    /// [`read_only_budgeted`](TmRuntime::read_only_budgeted) to cap the
+    /// attempts instead.
     ///
     /// # Examples
     ///
@@ -397,7 +402,35 @@ impl TmRuntime {
     /// assert_eq!(stats.ro_commits, 1);
     /// assert_eq!(stats.commits, 0, "read-only is not a commit");
     /// ```
-    pub fn read_only<T>(&self, mut body: impl FnMut(&mut ReadTx<'_>) -> TxResult<T>) -> T {
+    pub fn read_only<T>(&self, body: impl FnMut(&mut ReadTx<'_>) -> TxResult<T>) -> T {
+        match self.read_only_attempts(u64::MAX, body) {
+            Ok(v) => v,
+            Err(_) => unreachable!("unbounded retries cannot be exhausted"),
+        }
+    }
+
+    /// Runs `body` as a read-only transaction like
+    /// [`read_only`](TmRuntime::read_only) but gives up after
+    /// `max_attempts` attempts — the read-only analogue of
+    /// [`run_budgeted`](TmRuntime::run_budgeted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetryLimitExceeded`] if no attempt observed a consistent
+    /// snapshot.
+    pub fn read_only_budgeted<T>(
+        &self,
+        max_attempts: u64,
+        body: impl FnMut(&mut ReadTx<'_>) -> TxResult<T>,
+    ) -> Result<T, RetryLimitExceeded> {
+        self.read_only_attempts(max_attempts, body)
+    }
+
+    fn read_only_attempts<T>(
+        &self,
+        max_attempts: u64,
+        mut body: impl FnMut(&mut ReadTx<'_>) -> TxResult<T>,
+    ) -> Result<T, RetryLimitExceeded> {
         let ctx = self.current_ctx();
         let inner = &*self.inner;
         // One bracket per read-only transaction, kind-tagged: internal
@@ -409,8 +442,10 @@ impl TmRuntime {
             kind: TxnKind::ReadOnly,
         };
         inner.scheduler.before_start(&sched_ctx);
+        let mut attempts: u64 = 0;
         let mut restarts: u32 = 0;
         loop {
+            attempts += 1;
             let mut tx = ReadTx::begin(inner, ctx.id());
             let outcome = body(&mut tx);
             let (reads, revalidations) = tx.counters();
@@ -421,7 +456,7 @@ impl TmRuntime {
                 Ok(value) => {
                     ctx.ro_commits.fetch_add(1, Ordering::Relaxed);
                     inner.scheduler.on_commit(&sched_ctx, &[], &[]);
-                    return value;
+                    return Ok(value);
                 }
                 Err(_) => {
                     // A concurrent writer invalidated the snapshot (or the
@@ -429,6 +464,9 @@ impl TmRuntime {
                     // held, no writer was harmed. Grant the writer a short
                     // pause, then re-run on a fresh snapshot.
                     ctx.ro_revalidations.fetch_add(1, Ordering::Relaxed);
+                    if attempts >= max_attempts {
+                        return Err(RetryLimitExceeded { attempts });
+                    }
                     restarts = restarts.saturating_add(1);
                     pause(inner.config.wait_policy, restarts);
                 }
@@ -671,6 +709,32 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_read_only_gives_up() {
+        let rt = TmRuntime::new();
+        let result: Result<(), _> = rt.read_only_budgeted(3, |tx| tx.restart());
+        assert_eq!(result, Err(RetryLimitExceeded { attempts: 3 }));
+        let stats = rt.stats();
+        assert_eq!(stats.aborts, 0, "read-only restarts are not aborts");
+        assert_eq!(stats.ro_commits, 0);
+    }
+
+    #[test]
+    fn budgeted_read_only_succeeds_within_budget() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(11u64);
+        let mut first = true;
+        let got = rt.read_only_budgeted(2, |tx| {
+            if first {
+                first = false;
+                return tx.restart();
+            }
+            tx.read(&v)
+        });
+        assert_eq!(got, Ok(11));
+        assert_eq!(rt.stats().ro_commits, 1);
+    }
+
+    #[test]
     fn retry_blocks_until_a_commit_changes_the_read_set() {
         let rt = TmRuntime::new();
         let v = TVar::new(0u64);
@@ -853,7 +917,7 @@ mod tests {
         assert_eq!(stats.ro_reads, 8);
         assert_eq!(stats.commits, 0, "no commit ticket was taken");
         assert_eq!(stats.aborts, 0);
-        assert_eq!(stats.orec_acquires, 0, "wait-free: zero orec writes");
+        assert_eq!(stats.orec_acquires, 0, "lock-free: zero orec writes");
         assert_eq!(
             rt.retry_stats().parked_waits,
             0,

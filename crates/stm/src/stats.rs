@@ -37,7 +37,7 @@ pub struct ThreadStats {
     /// aborts.
     pub ro_revalidations: u64,
     /// Orec stripes write-locked by this thread. Zero for a pure reader —
-    /// the wait-free read-only claim, asserted by tests.
+    /// the lock-free read-only claim, asserted by tests.
     pub orec_acquires: u64,
 }
 

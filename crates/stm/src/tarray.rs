@@ -71,7 +71,7 @@ impl<T: TxValue> TArray<T> {
     /// Transactionally reads slot `index`.
     ///
     /// Generic over [`TxRead`]: works inside both a read-write transaction
-    /// ([`TmRuntime::run`](crate::TmRuntime::run)) and a wait-free
+    /// ([`TmRuntime::run`](crate::TmRuntime::run)) and a lock-free
     /// read-only one ([`TmRuntime::read_only`](crate::TmRuntime::read_only)).
     ///
     /// # Errors

@@ -114,7 +114,7 @@ pub struct ThreadCtx {
     /// writers invalidated a reader's snapshot — never booked as aborts.
     pub(crate) ro_revalidations: AtomicU64,
     /// Orec stripes acquired (write locks taken) by this thread. A declared
-    /// read-only workload must leave this at zero — the wait-free claim,
+    /// read-only workload must leave this at zero — the lock-free claim,
     /// asserted by tests through [`ThreadStats`](crate::ThreadStats).
     pub(crate) orec_acquires: AtomicU64,
     /// This thread's retry parker: the single event count it sleeps on

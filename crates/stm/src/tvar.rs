@@ -31,7 +31,7 @@ pub(crate) struct TVarInner<T> {
 /// Three read paths, in increasing consistency: [`TVar::snapshot`] (latest
 /// committed value, no cross-variable consistency),
 /// [`TmRuntime::read_only`](crate::TmRuntime::read_only) (consistent
-/// multi-variable snapshot, wait-free, no locks taken), and a full
+/// multi-variable snapshot, lock-free, no locks taken), and a full
 /// [`TmRuntime::run`](crate::TmRuntime::run) transaction (consistent and
 /// composable with writes/blocking).
 ///

@@ -777,7 +777,7 @@ impl fmt::Debug for Tx<'_> {
 ///
 /// Code that only *reads* transactional state can be written once against
 /// this trait and run both inside a full read-write transaction
-/// ([`TmRuntime::run`](crate::TmRuntime::run)) and inside the wait-free
+/// ([`TmRuntime::run`](crate::TmRuntime::run)) and inside the lock-free
 /// read-only mode ([`TmRuntime::read_only`](crate::TmRuntime::read_only)).
 /// The workload crates use it to route their lookup/traversal operations
 /// through either path.
@@ -803,7 +803,7 @@ impl fmt::Debug for Tx<'_> {
 /// let rt = TmRuntime::new();
 /// let vars: Vec<TVar<u64>> = (1..=3).map(TVar::new).collect();
 /// assert_eq!(rt.run(|tx| sum(tx, &vars)), 6); // read-write path
-/// assert_eq!(rt.read_only(|tx| sum(tx, &vars)), 6); // wait-free path
+/// assert_eq!(rt.read_only(|tx| sum(tx, &vars)), 6); // lock-free path
 /// ```
 pub trait TxRead {
     /// Transactionally reads `tvar`.
@@ -851,7 +851,7 @@ impl TxRead for Tx<'_> {
     }
 }
 
-/// A wait-free read-only transaction attempt, handed to the body closure by
+/// A lock-free read-only transaction attempt, handed to the body closure by
 /// [`TmRuntime::read_only`](crate::TmRuntime::read_only).
 ///
 /// The protocol is the read half of TL2, with everything writer-facing
@@ -862,21 +862,31 @@ impl TxRead for Tx<'_> {
 ///   lock-free [`ValueCell::load`](crate::cell::ValueCell) path, and
 ///   re-snapshots to confirm the stripe did not move;
 /// * a version newer than `start_ts` triggers a timestamp extension
-///   (revalidate the whole read log against the current clock); an
-///   extension that fails restarts the body with a fresh snapshot.
+///   (revalidate the whole read log against the current clock); a
+///   successful extension **re-reads the stripe** under the advanced
+///   timestamp (the pre-extension value may predate a commit the
+///   extension slid past); a failed extension restarts the body with a
+///   fresh snapshot.
 ///
 /// What a `ReadTx` **never** does: acquire an orec (no write lock, no CAS
 /// on shared state), take a commit ticket (`GlobalClock::tick`), register
 /// on a retry waitlist, or request a kill. Writers cannot observe it, so it
-/// can never abort one — and nothing can abort *it*; invalidated snapshots
-/// restart quietly inside `read_only`, invisible to the schedulers.
+/// can never abort one — and no writer can *force* it to block; invalidated
+/// snapshots restart quietly inside `read_only`, invisible to the
+/// schedulers. The mode is **lock-free, not wait-free**: every retry path
+/// inside a single read is bounded by `read_spin_budget`, but each restart
+/// is caused by a writer *committing*, so the system makes progress while
+/// an individual reader can in principle starve under a saturating writer
+/// stream (bound it with
+/// [`read_only_budgeted`](crate::TmRuntime::read_only_budgeted)).
 ///
 /// Unlike the read-write path, reads go *through* non-committing write
 /// locks on **both** backends (not just Swiss): buffered writes install
 /// only during the `committing` window, so a locked-but-not-committing
 /// stripe still guards the committed value under its pre-lock version. The
 /// only state a reader must wait out is `committing` itself, and that wait
-/// is bounded by `read_spin_budget` before the reader restarts.
+/// — like the snapshot-moved and extension retry paths — is bounded by
+/// `read_spin_budget` before the reader restarts.
 pub struct ReadTx<'rt> {
     rt: &'rt RuntimeInner,
     me: ThreadId,
@@ -925,7 +935,7 @@ impl<'rt> ReadTx<'rt> {
         Err(Abort::new(AbortReason::UserRestart))
     }
 
-    /// Reads `tvar` as part of the wait-free snapshot.
+    /// Reads `tvar` as part of the lock-free snapshot.
     ///
     /// # Errors
     ///
@@ -957,11 +967,26 @@ impl<'rt> ReadTx<'rt> {
             let value = tvar.inner.cell.load();
             let s2 = orec.snapshot();
             if s2 != s1 {
+                if spins >= self.rt.config.read_spin_budget {
+                    return Err(Abort::new(AbortReason::ReadValidation));
+                }
                 spins += 1;
                 continue;
             }
             if s1.version() > self.start_ts {
                 self.extend()?;
+                // The extension proved the read log consistent at the new
+                // timestamp, but `value`/`s1` were sampled *before* extend
+                // read the clock — a writer may have committed to this very
+                // stripe in between, which the extension cannot see (the
+                // entry is not in the read log yet). Re-snapshot and
+                // re-load under the advanced timestamp (TinySTM's
+                // goto-restart) instead of admitting a possibly stale pair.
+                if spins >= self.rt.config.read_spin_budget {
+                    return Err(Abort::new(AbortReason::ReadValidation));
+                }
+                spins += 1;
+                continue;
             }
             self.read_log.push(ReadEntry {
                 orec: idx,

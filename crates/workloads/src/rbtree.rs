@@ -84,7 +84,7 @@ impl TxRbTree {
     /// Looks up `key`.
     ///
     /// Generic over [`TxRead`]: the search path is pure reads, so lookups
-    /// run equally well inside a wait-free read-only transaction
+    /// run equally well inside a lock-free read-only transaction
     /// ([`TmRuntime::read_only`]) — the paper's 20%-update configuration
     /// spends most of its operations here without touching a single orec.
     ///
@@ -652,7 +652,7 @@ impl TxWorkload for RbTreeWorkload {
                 rt.run(|tx| self.tree.remove(tx, key));
             }
         } else {
-            // Lookups take the wait-free path: no orec writes, no commit
+            // Lookups take the lock-free path: no orec writes, no commit
             // ticket, invisible to the scheduler.
             rt.read_only(|tx| self.tree.get(tx, key));
         }
@@ -814,7 +814,7 @@ mod tests {
     }
 
     #[test]
-    fn lookups_run_wait_free_in_read_only_transactions() {
+    fn lookups_run_lock_free_in_read_only_transactions() {
         let rt = TmRuntime::new();
         let tree = TxRbTree::new();
         for k in 0..64 {

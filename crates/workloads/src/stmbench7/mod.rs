@@ -451,7 +451,7 @@ mod tests {
             workload.step(&rt, 0, &mut rng);
         }
         workload.verify(&rt).expect("graph must stay consistent");
-        // Read operations (T1 included) run as wait-free read-only
+        // Read operations (T1 included) run as lock-free read-only
         // transactions; updates take the read-write path. 200 read-heavy
         // steps must complete as one or the other.
         let stats = rt.stats();

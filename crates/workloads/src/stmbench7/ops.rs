@@ -48,7 +48,7 @@ fn random_composite(bench: &Sb7, rng: &mut StdRng) -> usize {
 }
 
 /// OP1-style index query: look a part up and read its payload and
-/// connections. Pure reads, so it takes the wait-free read-only path —
+/// connections. Pure reads, so it takes the lock-free read-only path —
 /// as do the other `st_`/`op_scan` operations below.
 fn st_query_part(bench: &Arc<Sb7>, rt: &TmRuntime, rng: &mut StdRng) {
     let id = random_part_id(bench, rng);
@@ -250,7 +250,7 @@ fn sm_swap_component(bench: &Arc<Sb7>, rt: &TmRuntime, rng: &mut StdRng) {
 /// composite referenced by every base assembly, count its atomic parts.
 /// One enormous read-only transaction touching most of the design; the
 /// paper's figures all run with this operation disabled. Running it on the
-/// wait-free path means it can never abort a writer, however long it takes
+/// lock-free path means it can never abort a writer, however long it takes
 /// — it restarts itself on revalidation failure instead.
 fn t1_long_traversal(bench: &Arc<Sb7>, rt: &TmRuntime) {
     rt.read_only(|tx| {

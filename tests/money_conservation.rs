@@ -1,7 +1,7 @@
 //! Serializability stress: concurrent bank transfers must conserve the
 //! total across every backend × waiting-policy × scheduler combination.
 //! A read-only auditor thread sums the accounts concurrently with the
-//! transfer writers — conservation must hold on *every* wait-free
+//! transfer writers — conservation must hold on *every* lock-free
 //! snapshot, not just at the end.
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,4 +1,4 @@
-//! Acceptance tests for wait-free read-only transactions (DESIGN.md §10).
+//! Acceptance tests for lock-free read-only transactions (DESIGN.md §10).
 //!
 //! The contract under test: [`TmRuntime::read_only`] delivers a consistent
 //! multi-variable snapshot while performing **zero orec writes**, taking

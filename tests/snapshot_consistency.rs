@@ -14,7 +14,7 @@
 //!   pool of readers, with every writer stamping its own tag so a torn
 //!   snapshot cannot hide behind coincidentally equal values;
 //! * `read_only_snapshot_stress` — the same multi-writer hammer with the
-//!   readers on the wait-free [`TmRuntime::read_only`] path, which must
+//!   readers on the lock-free [`TmRuntime::read_only`] path, which must
 //!   deliver the identical opacity guarantees while leaving zero marks on
 //!   shared state (asserted per reader thread from the stats ledger).
 //!
@@ -172,12 +172,12 @@ fn contended_snapshot_stress(backend: BackendKind, wait: WaitPolicy, kind: Sched
     );
 }
 
-/// The contended hammer with wait-free readers: several writers race their
+/// The contended hammer with lock-free readers: several writers race their
 /// tags across the group while readers scan via [`TmRuntime::read_only`].
 /// Readers assert all-equal, tag validity, and within-snapshot re-read
 /// stability; afterwards the stats ledger must show that every pure-reader
 /// thread acquired zero orecs and aborted zero transactions — the
-/// wait-freedom claim, checked rather than assumed.
+/// lock-freedom claim, checked rather than assumed.
 fn read_only_snapshot_stress(backend: BackendKind, wait: WaitPolicy, kind: SchedulerKind) {
     const VARS: usize = 12;
     let writers: u64 = 4 * stress_factor().min(2);
@@ -253,7 +253,7 @@ fn read_only_snapshot_stress(backend: BackendKind, wait: WaitPolicy, kind: Sched
     let total: u64 = reader_handles.into_iter().map(|r| r.join().unwrap()).sum();
     assert!(total > 0, "readers must have observed snapshots");
 
-    // Wait-freedom footprint: a pure reader (only ro commits) leaves no
+    // Lock-freedom footprint: a pure reader (only ro commits) leaves no
     // orec writes, no rw commits, no aborts — ever.
     let stats = rt.stats();
     let pure_readers: Vec<_> = stats
