@@ -189,6 +189,16 @@ fn scan_cell(
     med
 }
 
+/// Pulls `ns_per_op` for `cell` out of a ledger previously written by
+/// [`write_json`] (hand-rolled line scan: the ledger scheme must not
+/// depend on a vendored serde).
+fn baseline_ns_per_op(json: &str, cell: &str) -> Option<f64> {
+    let marker = format!("\"name\": \"{cell}\"");
+    let row = json.lines().find(|l| l.contains(&marker))?;
+    let rest = row.split("\"ns_per_op\": ").nth(1)?;
+    rest.split([',', '}']).next()?.trim().parse().ok()
+}
+
 fn main() {
     let opts = BenchOpts::from_args();
     let iters: u64 = if opts.quick { 200_000 } else { 1_000_000 };
@@ -404,6 +414,46 @@ fn main() {
         "read-only scan cells take zero read-write commit tickets",
         ro_zero_commit_tickets && ro_committed,
     );
+
+    // Zero-overhead proof for the `faults` feature plumbing: with the
+    // feature off every failpoint compiles to a const `false`, so the hot
+    // read cells must stay within noise of the committed baseline ledger.
+    // CI's bench-smoke job saves the checked-in BENCH_read.json before
+    // regenerating and passes its path via `BENCH_READ_BASELINE`; local
+    // runs without the variable skip the check.
+    if let Ok(path) = std::env::var("BENCH_READ_BASELINE") {
+        let cells = [
+            ("snapshot/1/inline_u64", inline_ns),
+            ("tx_read/1/inline_u64", tx_read_ns),
+            ("ro_read/1/inline_u64", ro_read_ns),
+        ];
+        match std::fs::read_to_string(&path) {
+            Ok(baseline) => {
+                let mut all_found = true;
+                let mut within = true;
+                for (cell, now) in cells {
+                    match baseline_ns_per_op(&baseline, cell) {
+                        Some(then) => {
+                            // Generous band — the baseline may come from a
+                            // different host and window size; only a
+                            // structural regression (a failpoint that
+                            // stopped compiling out) breaks it.
+                            within &= now <= then * 3.0 + 50.0;
+                            println!("# baseline {cell}: {then:.1} ns then, {now:.1} ns now");
+                        }
+                        None => all_found = false,
+                    }
+                }
+                shape(
+                    "read cells stay within noise of the committed baseline (failpoints cost nothing)",
+                    all_found && within,
+                );
+            }
+            Err(err) => {
+                println!("# baseline {path} unreadable ({err}); skipping the overhead shape");
+            }
+        }
+    }
 
     write_json("BENCH_read.json", "read", opts.quick, &records);
 }

@@ -148,6 +148,13 @@ impl TxScheduler for Ats {
         self.lock.release_if_held(ctx.thread);
     }
 
+    fn on_reset(&self, ctx: &SchedCtx<'_>) {
+        // Abandoned attempt: the contention-intensity average is left
+        // untouched (an unwinding panic is neither a commit nor a
+        // conflict); only a held serialization slot is handed back.
+        self.lock.release_if_held(ctx.thread);
+    }
+
     fn name(&self) -> &str {
         "ats"
     }

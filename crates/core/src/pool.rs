@@ -105,6 +105,13 @@ impl TxScheduler for Pool {
         self.lock.release_if_held(ctx.thread);
     }
 
+    fn on_reset(&self, ctx: &SchedCtx<'_>) {
+        // Abandoned attempt: the contended flag keeps its last real value
+        // (a panic says nothing about contention); only a held
+        // serialization slot is handed back.
+        self.lock.release_if_held(ctx.thread);
+    }
+
     fn name(&self) -> &str {
         "pool"
     }

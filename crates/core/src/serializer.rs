@@ -248,6 +248,15 @@ impl TxScheduler for Serializer {
         }
     }
 
+    fn on_reset(&self, ctx: &SchedCtx<'_>) {
+        // Abandoned attempt: drop any pending schedule-after target. The
+        // abandoned attempt's conflict evidence is stale — serializing the
+        // thread's *next* transaction behind it would be a spurious stall,
+        // and (unlike the lock-based policies) this is the only per-thread
+        // state before_start consumes. No lock is ever held here.
+        *self.threads.get(ctx.thread).pending.lock() = None;
+    }
+
     fn name(&self) -> &str {
         "serializer"
     }

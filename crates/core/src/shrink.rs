@@ -429,6 +429,19 @@ impl TxScheduler for Shrink {
         self.lock.release_if_held(ctx.thread);
     }
 
+    fn on_reset(&self, ctx: &SchedCtx<'_>) {
+        // Abandoned attempt (panic unwind, or a non-retryable error): the
+        // attempt never completed, so neither success-rate nor prediction
+        // accuracy can be judged. Drop its active predictions unscored and
+        // hand back the serialization lock if this start took it.
+        self.with_state(ctx.thread, |slot| {
+            let mut s = slot.lock();
+            s.active_pred_reads.clear();
+            s.active_pred_writes.clear();
+        });
+        self.lock.release_if_held(ctx.thread);
+    }
+
     fn name(&self) -> &str {
         "shrink"
     }

@@ -99,6 +99,8 @@ impl EpochCell {
 
     /// Advances the epoch, waking every waiter. Returns the new epoch.
     pub(crate) fn advance(&self) -> u32 {
+        // Delay-only site: advance also runs from attempt-cleanup guards.
+        let _ = crate::failpoint!(crate::faults::FaultSite::EventWake);
         self.event.advance().version
     }
 
@@ -115,6 +117,12 @@ impl EpochCell {
     pub(crate) fn wait_change(&self, observed: u32, deadline: Instant) -> EpochWaitOutcome {
         if self.departed() {
             return EpochWaitOutcome::Absent;
+        }
+        // Forced spurious wakeup: report the epoch advanced without
+        // sleeping. Epoch waiters (the Serializer's schedule-after wait)
+        // must tolerate waking before their enemy actually finished.
+        if crate::failpoint!(crate::faults::FaultSite::EventPark) {
+            return EpochWaitOutcome::Advanced;
         }
         match self.event.wait_while_eq(observed, Some(deadline)) {
             WaitOutcome::Advanced => EpochWaitOutcome::Advanced,

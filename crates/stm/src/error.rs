@@ -41,6 +41,15 @@ pub enum AbortReason {
     /// rather than `on_abort`, so a deliberate wait is never booked as a
     /// conflict abort.
     Retry,
+    /// The body touched a [`TVar`](crate::TVar) owned by a different
+    /// [`TmRuntime`](crate::TmRuntime). Not retryable: the runtime loop
+    /// converts it into [`TmError::ForeignTVar`] (fallible entry points) or
+    /// a panic (`run`/`read_only`) instead of restarting the attempt.
+    ForeignTVar,
+    /// The fault-injection layer (`faults` feature, DESIGN.md §11) forced a
+    /// spurious abort at a failpoint. Never produced in default builds;
+    /// handled by the retry loop exactly like a conflict abort.
+    FaultInjected,
 }
 
 impl AbortReason {
@@ -61,6 +70,8 @@ impl fmt::Display for AbortReason {
             AbortReason::Killed => "killed by contention manager",
             AbortReason::UserRestart => "restart requested by transaction body",
             AbortReason::Retry => "retry: blocked until the read set changes",
+            AbortReason::ForeignTVar => "TVar belongs to a different runtime",
+            AbortReason::FaultInjected => "spurious abort forced by fault injection",
         };
         f.write_str(s)
     }
@@ -179,6 +190,68 @@ impl Error for Abort {}
 /// Result alias used by transaction bodies.
 pub type TxResult<T> = Result<T, Abort>;
 
+/// Terminal failures of the bounded transaction entry points
+/// ([`run_budgeted`](crate::TmRuntime::run_budgeted),
+/// [`read_only_budgeted`](crate::TmRuntime::read_only_budgeted),
+/// [`run_with_deadline`](crate::TmRuntime::run_with_deadline)).
+///
+/// Unlike [`Abort`], which the retry loop consumes internally, a `TmError`
+/// reaches the caller: the transaction did not commit and will not be
+/// retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TmError {
+    /// The attempt budget ran out before a commit.
+    RetryLimitExceeded {
+        /// Number of attempts consumed (equals the budget passed in).
+        attempts: u64,
+    },
+    /// The deadline passed while parked in [`Tx::retry`](crate::Tx::retry)
+    /// with no commit changing the read set.
+    RetryTimeout {
+        /// Time between the first attempt and giving up.
+        waited: std::time::Duration,
+    },
+    /// The body accessed a [`TVar`](crate::TVar) through a runtime other
+    /// than the one it is bound to. Cross-runtime sharing would validate
+    /// against the wrong orec table and park on the wrong waitlist (lost
+    /// wakeups), so it is rejected eagerly with this typed error.
+    ForeignTVar {
+        /// The variable that was accessed.
+        var: VarId,
+        /// Id of the runtime the variable is bound to.
+        owner: u64,
+        /// Id of the runtime the access came through.
+        runtime: u64,
+    },
+}
+
+impl fmt::Display for TmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmError::RetryLimitExceeded { attempts } => {
+                write!(f, "transaction gave up after {attempts} attempts")
+            }
+            TmError::RetryTimeout { waited } => write!(
+                f,
+                "transaction timed out after {waited:?}: retry parked with no writer arriving"
+            ),
+            TmError::ForeignTVar {
+                var,
+                owner,
+                runtime,
+            } => write!(
+                f,
+                "foreign TVar: {var} is bound to runtime {owner} but was accessed through \
+                 runtime {runtime}; sharing a TVar across runtimes loses wakeups and \
+                 validates against the wrong orec table"
+            ),
+        }
+    }
+}
+
+impl Error for TmError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +313,38 @@ mod tests {
         assert!(a.var().is_none());
         assert!(a.enemy().is_none());
         assert!(a.to_string().contains("retry"), "{a}");
+    }
+
+    #[test]
+    fn tm_error_displays_and_is_a_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        let limit = TmError::RetryLimitExceeded { attempts: 3 };
+        assert!(limit.to_string().contains("3 attempts"), "{limit}");
+        let timeout = TmError::RetryTimeout {
+            waited: std::time::Duration::from_millis(5),
+        };
+        assert!(timeout.to_string().contains("timed out"), "{timeout}");
+        let foreign = TmError::ForeignTVar {
+            var: VarId::from_u64(7),
+            owner: 1,
+            runtime: 2,
+        };
+        let s = foreign.to_string();
+        assert!(s.contains("v7"), "{s}");
+        assert!(s.contains("runtime 1"), "{s}");
+        assert!(s.contains("runtime 2"), "{s}");
+        takes_err(limit);
+    }
+
+    #[test]
+    fn new_abort_reasons_display() {
+        assert!(Abort::new(AbortReason::ForeignTVar)
+            .to_string()
+            .contains("different runtime"));
+        assert!(Abort::new(AbortReason::FaultInjected)
+            .to_string()
+            .contains("fault injection"));
+        assert!(!AbortReason::ForeignTVar.is_retry());
     }
 
     #[test]

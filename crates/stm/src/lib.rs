@@ -71,6 +71,7 @@ pub mod clock;
 pub mod config;
 pub mod epoch;
 pub mod error;
+pub mod faults;
 pub mod orec;
 pub mod runtime;
 pub mod sched;
@@ -85,8 +86,9 @@ pub mod waitlist;
 
 pub use config::{BackendKind, CmPolicy, TmConfig, TxnKind, WaitPolicy};
 pub use epoch::{AttemptEpochs, EpochTable, EpochWaitOutcome, NoEpochs};
-pub use error::{Abort, AbortReason, TxResult};
-pub use runtime::{atomically, quiesce, RetryLimitExceeded, TmBuilder, TmRuntime};
+pub use error::{Abort, AbortReason, TmError, TxResult};
+pub use faults::{FaultKind, FaultSite};
+pub use runtime::{atomically, quiesce, TmBuilder, TmRuntime};
 pub use sched::{NoopScheduler, SchedCtx, TxScheduler};
 pub use stats::{ThreadStats, TmStats};
 pub use tarray::TArray;

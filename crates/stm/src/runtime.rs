@@ -3,7 +3,6 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -12,7 +11,8 @@ use std::time::{Duration, Instant};
 use crate::backoff::{pause, retry_backoff};
 use crate::clock::GlobalClock;
 use crate::config::{BackendKind, CmPolicy, TmConfig, TxnKind, WaitPolicy};
-use crate::error::{AbortReason, TxResult};
+use crate::error::{AbortReason, TmError, TxResult};
+use crate::faults::FaultSite;
 use crate::orec::OrecTable;
 use crate::sched::{NoopScheduler, SchedCtx, TxScheduler};
 use crate::stats::{ThreadStats, TmStats};
@@ -54,25 +54,72 @@ pub(crate) struct RuntimeInner {
     pub(crate) retry_waits: StripeWaitlist,
 }
 
-/// Error returned by [`TmRuntime::run_budgeted`] when a transaction fails to
-/// commit within the allowed number of attempts.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct RetryLimitExceeded {
-    /// How many attempts were made.
-    pub attempts: u64,
+/// RAII bracket around one transaction attempt.
+///
+/// Armed before the scheduler's `before_start` hook and disarmed by
+/// [`complete`](AttemptGuard::complete) after a normal completion hook ran.
+/// If the attempt is abandoned instead — the body panicked and unwinding is
+/// in progress, or a non-retryable error (foreign `TVar`) returned early —
+/// the drop handler restores the invariants a completion hook would have:
+/// it tells the scheduler to reset per-thread state (releasing any
+/// serialization taken in `before_start`) and advances the attempt epoch so
+/// threads serialized behind this one wake instead of stalling their full
+/// wait bound.
+///
+/// Declared *before* the `Tx` in the attempt loop, so during an unwind the
+/// `Tx` drops first (rollback: stripe locks released, versions restored)
+/// and this guard second — the scheduler reset never observes the attempt's
+/// stripes still locked.
+struct AttemptGuard<'a> {
+    inner: &'a RuntimeInner,
+    ctx: &'a ThreadCtx,
+    kind: TxnKind,
+    armed: bool,
 }
 
-impl fmt::Display for RetryLimitExceeded {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "transaction failed to commit within {} attempts",
-            self.attempts
-        )
+impl<'a> AttemptGuard<'a> {
+    fn new(inner: &'a RuntimeInner, ctx: &'a ThreadCtx, kind: TxnKind) -> Self {
+        AttemptGuard {
+            inner,
+            ctx,
+            kind,
+            armed: true,
+        }
+    }
+
+    fn sched_ctx(&self) -> SchedCtx<'_> {
+        SchedCtx {
+            thread: self.ctx.id(),
+            visible: &self.inner.orecs,
+            epochs: &self.inner.registry,
+            kind: self.kind,
+        }
+    }
+
+    /// Normal completion: a completion hook ran; advance the attempt epoch
+    /// (read-write attempts only — read-only transactions never advance
+    /// epochs, in either completion mode) and disarm.
+    fn complete(mut self) {
+        self.armed = false;
+        if self.kind == TxnKind::ReadWrite {
+            // Bump-and-wake *after* the hook: a victim released here
+            // observes the enemy's scheduler bookkeeping settled.
+            self.ctx.finish_attempt();
+        }
     }
 }
 
-impl Error for RetryLimitExceeded {}
+impl Drop for AttemptGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.inner.scheduler.on_reset(&self.sched_ctx());
+        if self.kind == TxnKind::ReadWrite {
+            self.ctx.finish_attempt();
+        }
+    }
+}
 
 /// Builder for [`TmRuntime`].
 ///
@@ -264,6 +311,14 @@ impl TmRuntime {
         &self.inner.config
     }
 
+    /// This runtime's process-unique id — the value `TVar`s are stamped
+    /// with on first transactional access and that
+    /// [`TmError::ForeignTVar`] reports for both sides of a cross-runtime
+    /// misuse.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
     /// The installed scheduler's short name.
     pub fn scheduler_name(&self) -> &str {
         self.inner.scheduler.name()
@@ -297,12 +352,27 @@ impl TmRuntime {
     ///
     /// # Panics
     ///
-    /// Propagates panics from `body`; held stripe locks are released during
-    /// unwinding, but scheduler serialization state may be left inconsistent,
-    /// so a panicking body should be treated as fatal for the runtime.
+    /// Propagates panics from `body`, and panics with the
+    /// [`TmError::ForeignTVar`] message when the body accesses a `TVar`
+    /// bound to a different runtime (use [`run_budgeted`] or
+    /// [`run_with_deadline`] to handle that case as a value).
+    ///
+    /// A panic unwinding out of `run` leaves the runtime fully reusable — a
+    /// tested guarantee, not best-effort: the attempt's drop guards release
+    /// stripe locks and restore their versions, release any scheduler
+    /// serialization taken in `before_start`, reset the scheduler's
+    /// per-thread attempt state, and advance the attempt epoch with a final
+    /// wake so threads serialized behind the panicking one proceed. The
+    /// transaction itself did not commit (its buffered writes are
+    /// discarded), and subsequent transactions on any thread — including
+    /// the panicking one — run normally.
+    ///
+    /// [`run_budgeted`]: TmRuntime::run_budgeted
+    /// [`run_with_deadline`]: TmRuntime::run_with_deadline
     pub fn run<T>(&self, body: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
-        match self.run_attempts(u64::MAX, body) {
+        match self.run_attempts(u64::MAX, None, body) {
             Ok(v) => v,
+            Err(err @ TmError::ForeignTVar { .. }) => panic!("{err}"),
             Err(_) => unreachable!("unbounded retries cannot be exhausted"),
         }
     }
@@ -312,13 +382,58 @@ impl TmRuntime {
     ///
     /// # Errors
     ///
-    /// Returns [`RetryLimitExceeded`] if no attempt committed.
+    /// Returns [`TmError::RetryLimitExceeded`] if no attempt committed, or
+    /// [`TmError::ForeignTVar`] if the body accessed a `TVar` bound to a
+    /// different runtime.
     pub fn run_budgeted<T>(
         &self,
         max_attempts: u64,
         body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
-    ) -> Result<T, RetryLimitExceeded> {
-        self.run_attempts(max_attempts, body)
+    ) -> Result<T, TmError> {
+        self.run_attempts(max_attempts, None, body)
+    }
+
+    /// Runs `body` as a transaction, retrying until it commits or until
+    /// `deadline` passes while the transaction is blocked in [`Tx::retry`]
+    /// — the time-bounded sibling of [`run_budgeted`](TmRuntime::run_budgeted)
+    /// for bodies that *park* rather than conflict: a consumer waiting on a
+    /// queue that may stay empty forever, a predicate no writer ever makes
+    /// true.
+    ///
+    /// The deadline bounds **blocking**, not total execution: an attempt
+    /// that is actively running is never interrupted, and a wake that
+    /// arrives just before the deadline still gets its re-run. Once the
+    /// deadline has passed, a blocked transaction stops parking and the
+    /// call returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmError::RetryTimeout`] when the deadline passed with the
+    /// transaction still blocked, or [`TmError::ForeignTVar`] for
+    /// cross-runtime access.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::{Duration, Instant};
+    /// use shrink_stm::{TmError, TmRuntime, TVar};
+    ///
+    /// let rt = TmRuntime::new();
+    /// let inbox: TVar<Option<u32>> = TVar::new(None);
+    /// let got = rt.run_with_deadline(Instant::now() + Duration::from_millis(50), |tx| {
+    ///     match tx.read(&inbox)? {
+    ///         Some(v) => Ok(v),
+    ///         None => tx.retry(), // nobody ever fills the inbox
+    ///     }
+    /// });
+    /// assert!(matches!(got, Err(TmError::RetryTimeout { .. })));
+    /// ```
+    pub fn run_with_deadline<T>(
+        &self,
+        deadline: Instant,
+        body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> Result<T, TmError> {
+        self.run_attempts(u64::MAX, Some(deadline), body)
     }
 
     /// Runs `first` as a transaction, falling back to `second` whenever
@@ -405,6 +520,7 @@ impl TmRuntime {
     pub fn read_only<T>(&self, body: impl FnMut(&mut ReadTx<'_>) -> TxResult<T>) -> T {
         match self.read_only_attempts(u64::MAX, body) {
             Ok(v) => v,
+            Err(err @ TmError::ForeignTVar { .. }) => panic!("{err}"),
             Err(_) => unreachable!("unbounded retries cannot be exhausted"),
         }
     }
@@ -416,13 +532,14 @@ impl TmRuntime {
     ///
     /// # Errors
     ///
-    /// Returns [`RetryLimitExceeded`] if no attempt observed a consistent
-    /// snapshot.
+    /// Returns [`TmError::RetryLimitExceeded`] if no attempt observed a
+    /// consistent snapshot, or [`TmError::ForeignTVar`] if the body read a
+    /// `TVar` bound to a different runtime.
     pub fn read_only_budgeted<T>(
         &self,
         max_attempts: u64,
         body: impl FnMut(&mut ReadTx<'_>) -> TxResult<T>,
-    ) -> Result<T, RetryLimitExceeded> {
+    ) -> Result<T, TmError> {
         self.read_only_attempts(max_attempts, body)
     }
 
@@ -430,18 +547,16 @@ impl TmRuntime {
         &self,
         max_attempts: u64,
         mut body: impl FnMut(&mut ReadTx<'_>) -> TxResult<T>,
-    ) -> Result<T, RetryLimitExceeded> {
+    ) -> Result<T, TmError> {
         let ctx = self.current_ctx();
         let inner = &*self.inner;
         // One bracket per read-only transaction, kind-tagged: internal
-        // snapshot restarts are invisible to the scheduler.
-        let sched_ctx = SchedCtx {
-            thread: ctx.id(),
-            visible: &inner.orecs,
-            epochs: &inner.registry,
-            kind: TxnKind::ReadOnly,
-        };
-        inner.scheduler.before_start(&sched_ctx);
+        // snapshot restarts are invisible to the scheduler. The guard turns
+        // every abnormal exit (body panic, foreign access, exhausted
+        // budget) into an `on_reset`, so the bracket opened by
+        // `before_start` below is always closed.
+        let guard = AttemptGuard::new(inner, &ctx, TxnKind::ReadOnly);
+        inner.scheduler.before_start(&guard.sched_ctx());
         let mut attempts: u64 = 0;
         let mut restarts: u32 = 0;
         loop {
@@ -455,8 +570,19 @@ impl TmRuntime {
             match outcome {
                 Ok(value) => {
                     ctx.ro_commits.fetch_add(1, Ordering::Relaxed);
-                    inner.scheduler.on_commit(&sched_ctx, &[], &[]);
+                    inner.scheduler.on_commit(&guard.sched_ctx(), &[], &[]);
+                    guard.complete();
                     return Ok(value);
+                }
+                Err(abort) if abort.reason() == AbortReason::ForeignTVar => {
+                    let info = tx.foreign_access().expect("foreign abort carries details");
+                    // Not retryable: a fresh snapshot cannot change which
+                    // runtime owns the variable. The guard fires on_reset.
+                    return Err(TmError::ForeignTVar {
+                        var: info.var,
+                        owner: info.owner,
+                        runtime: inner.id,
+                    });
                 }
                 Err(_) => {
                     // A concurrent writer invalidated the snapshot (or the
@@ -465,7 +591,7 @@ impl TmRuntime {
                     // pause, then re-run on a fresh snapshot.
                     ctx.ro_revalidations.fetch_add(1, Ordering::Relaxed);
                     if attempts >= max_attempts {
-                        return Err(RetryLimitExceeded { attempts });
+                        return Err(TmError::RetryLimitExceeded { attempts });
                     }
                     restarts = restarts.saturating_add(1);
                     pause(inner.config.wait_policy, restarts);
@@ -477,21 +603,25 @@ impl TmRuntime {
     fn run_attempts<T>(
         &self,
         max_attempts: u64,
+        deadline: Option<Instant>,
         mut body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
-    ) -> Result<T, RetryLimitExceeded> {
+    ) -> Result<T, TmError> {
         let ctx = self.current_ctx();
         let inner = &*self.inner;
+        // Sampled only for deadline-bounded runs, to report `waited`.
+        let started = deadline.map(|_| Instant::now());
         let mut consecutive_aborts: u32 = 0;
         let mut attempts: u64 = 0;
         loop {
             attempts += 1;
-            let sched_ctx = SchedCtx {
-                thread: ctx.id(),
-                visible: &inner.orecs,
-                epochs: &inner.registry,
-                kind: TxnKind::ReadWrite,
-            };
-            inner.scheduler.before_start(&sched_ctx);
+            // Guard first, `tx` second: on an unwind the transaction rolls
+            // back (stripes released) before the guard resets the scheduler
+            // and advances the attempt epoch.
+            let guard = AttemptGuard::new(inner, &ctx, TxnKind::ReadWrite);
+            inner.scheduler.before_start(&guard.sched_ctx());
+            // Hazard probe with serialization possibly held: a panic here
+            // must release it through the guard's on_reset.
+            let _ = crate::failpoint!(FaultSite::SchedBeforeStart);
             let mut tx = Tx::begin(inner, &ctx);
             let committed = match body(&mut tx) {
                 Ok(value) => tx.try_commit().map(|()| value),
@@ -502,10 +632,11 @@ impl TmRuntime {
                     let (reads, writes) = tx.take_logs();
                     drop(tx);
                     ctx.commits.fetch_add(1, Ordering::Relaxed);
-                    inner.scheduler.on_commit(&sched_ctx, &reads, &writes);
-                    // Bump-and-wake *after* the hook: a victim released here
-                    // observes the enemy's scheduler bookkeeping settled.
-                    ctx.finish_attempt();
+                    inner
+                        .scheduler
+                        .on_commit(&guard.sched_ctx(), &reads, &writes);
+                    let _ = crate::failpoint!(FaultSite::SchedOnCommit);
+                    guard.complete();
                     return Ok(value);
                 }
                 Err(abort) if abort.reason() == AbortReason::Retry => {
@@ -516,21 +647,51 @@ impl TmRuntime {
                     let (reads, writes) = tx.take_logs();
                     drop(tx);
                     ctx.retry_waits.fetch_add(1, Ordering::Relaxed);
-                    inner.scheduler.on_retry_wait(&sched_ctx, &reads, &writes);
-                    ctx.finish_attempt();
+                    inner
+                        .scheduler
+                        .on_retry_wait(&guard.sched_ctx(), &reads, &writes);
+                    let _ = crate::failpoint!(FaultSite::SchedOnRetryWait);
+                    guard.complete();
                     if attempts >= max_attempts {
-                        return Err(RetryLimitExceeded { attempts });
+                        return Err(TmError::RetryLimitExceeded { attempts });
                     }
-                    let deadline = Instant::now() + inner.config.retry_wait;
-                    let _ = inner.retry_waits.wait(
-                        &inner.orecs,
-                        &wait_plan,
-                        &ctx.retry_parker,
-                        deadline,
-                    );
+                    let round = Instant::now() + inner.config.retry_wait;
+                    // A deadline-bounded run never parks past its deadline;
+                    // once the deadline passed the wait degenerates to one
+                    // registration-and-revalidate pass.
+                    let bound = deadline.map_or(round, |d| round.min(d));
+                    let outcome =
+                        inner
+                            .retry_waits
+                            .wait(&inner.orecs, &wait_plan, &ctx.retry_parker, bound);
+                    if let Some(d) = deadline {
+                        // A real wake (or a changed read set) earns one more
+                        // attempt even at the deadline; only an expired wait
+                        // with nothing new gives up.
+                        if outcome == crate::waitlist::RetryWaitOutcome::TimedOut
+                            && Instant::now() >= d
+                        {
+                            return Err(TmError::RetryTimeout {
+                                waited: started.expect("deadline implies start").elapsed(),
+                            });
+                        }
+                    }
                     // Waking (or revalidating after the bounded deadline)
                     // is progress, not an abort storm: no backoff.
                     consecutive_aborts = 0;
+                }
+                Err(abort) if abort.reason() == AbortReason::ForeignTVar => {
+                    tx.rollback();
+                    let info = tx.foreign_access().expect("foreign abort carries details");
+                    drop(tx);
+                    // Not retryable, and not a conflict either: no abort is
+                    // booked and no completion hook fires — the guard's
+                    // on_reset closes the scheduler bracket.
+                    return Err(TmError::ForeignTVar {
+                        var: info.var,
+                        owner: info.owner,
+                        runtime: inner.id,
+                    });
                 }
                 Err(abort) => {
                     tx.rollback();
@@ -539,10 +700,11 @@ impl TmRuntime {
                     ctx.aborts.fetch_add(1, Ordering::Relaxed);
                     inner
                         .scheduler
-                        .on_abort(&sched_ctx, &abort, &reads, &writes);
-                    ctx.finish_attempt();
+                        .on_abort(&guard.sched_ctx(), &abort, &reads, &writes);
+                    let _ = crate::failpoint!(FaultSite::SchedOnAbort);
+                    guard.complete();
                     if attempts >= max_attempts {
-                        return Err(RetryLimitExceeded { attempts });
+                        return Err(TmError::RetryLimitExceeded { attempts });
                     }
                     consecutive_aborts += 1;
                     retry_backoff(
@@ -705,14 +867,14 @@ mod tests {
     fn budgeted_run_gives_up() {
         let rt = TmRuntime::new();
         let result: Result<(), _> = rt.run_budgeted(3, |tx| tx.restart());
-        assert_eq!(result, Err(RetryLimitExceeded { attempts: 3 }));
+        assert_eq!(result, Err(TmError::RetryLimitExceeded { attempts: 3 }));
     }
 
     #[test]
     fn budgeted_read_only_gives_up() {
         let rt = TmRuntime::new();
         let result: Result<(), _> = rt.read_only_budgeted(3, |tx| tx.restart());
-        assert_eq!(result, Err(RetryLimitExceeded { attempts: 3 }));
+        assert_eq!(result, Err(TmError::RetryLimitExceeded { attempts: 3 }));
         let stats = rt.stats();
         assert_eq!(stats.aborts, 0, "read-only restarts are not aborts");
         assert_eq!(stats.ro_commits, 0);
@@ -782,7 +944,7 @@ mod tests {
             let _ = tx.read(&v)?;
             tx.retry()
         });
-        assert_eq!(result, Err(RetryLimitExceeded { attempts: 3 }));
+        assert_eq!(result, Err(TmError::RetryLimitExceeded { attempts: 3 }));
     }
 
     #[test]
@@ -1044,14 +1206,136 @@ mod tests {
     }
 
     #[test]
-    fn distinct_runtimes_are_isolated() {
+    fn foreign_tvar_access_is_a_typed_error() {
+        let rt1 = TmRuntime::new();
+        let rt2 = TmRuntime::new();
+        let v = TVar::new(0u64);
+        // First transactional access binds the TVar to rt1.
+        rt1.run(|tx| tx.write(&v, 1));
+        assert_eq!(v.owner_runtime(), Some(rt1.id()));
+        // Reads and writes through another runtime are refused, not
+        // silently mis-synchronized.
+        let read: Result<u64, _> = rt2.run_budgeted(8, |tx| tx.read(&v));
+        match read {
+            Err(TmError::ForeignTVar {
+                var,
+                owner,
+                runtime,
+            }) => {
+                assert_eq!(var, v.id());
+                assert_eq!(owner, rt1.id());
+                assert_eq!(runtime, rt2.id());
+            }
+            other => panic!("expected ForeignTVar, got {other:?}"),
+        }
+        let write: Result<(), _> = rt2.run_budgeted(8, |tx| tx.write(&v, 9));
+        assert!(matches!(write, Err(TmError::ForeignTVar { .. })));
+        let ro: Result<u64, _> = rt2.read_only_budgeted(8, |tx| tx.read(&v));
+        assert!(matches!(ro, Err(TmError::ForeignTVar { .. })));
+        // The owning runtime is unaffected and keeps working.
+        rt1.run(|tx| tx.modify(&v, |x| x + 1));
+        assert_eq!(v.snapshot(), 2);
+        assert_eq!(rt2.stats().commits, 0, "rt2 never committed");
+        // Non-transactional snapshots stay runtime-free.
+        assert_eq!(v.snapshot(), 2);
+    }
+
+    #[test]
+    fn foreign_tvar_does_not_burn_the_retry_budget() {
+        // A foreign access is non-retryable: it must return on the first
+        // attempt, not spin the budget down.
         let rt1 = TmRuntime::new();
         let rt2 = TmRuntime::new();
         let v = TVar::new(0u64);
         rt1.run(|tx| tx.write(&v, 1));
-        rt2.run(|tx| tx.modify(&v, |x| x + 1));
-        assert_eq!(v.snapshot(), 2);
-        assert_eq!(rt1.stats().commits, 1);
-        assert_eq!(rt2.stats().commits, 1);
+        let _: Result<u64, _> = rt2.run_budgeted(1_000_000, |tx| tx.read(&v));
+        assert_eq!(rt2.stats().aborts, 0, "foreign access is not an abort");
+    }
+
+    #[test]
+    fn run_with_deadline_times_out_a_blocked_retry() {
+        let rt = TmRuntime::builder()
+            .retry_wait(std::time::Duration::from_secs(30))
+            .build();
+        let v = TVar::new(0u64);
+        let start = std::time::Instant::now();
+        let deadline = start + std::time::Duration::from_millis(50);
+        let got: Result<u64, _> = rt.run_with_deadline(deadline, |tx| {
+            let x = tx.read(&v)?;
+            if x == 0 {
+                return tx.retry();
+            }
+            Ok(x)
+        });
+        match got {
+            Err(TmError::RetryTimeout { waited }) => {
+                assert!(waited >= std::time::Duration::from_millis(50));
+            }
+            other => panic!("expected RetryTimeout, got {other:?}"),
+        }
+        // The deadline clamps the 30s retry_wait round: we did not sleep
+        // anywhere near the configured round length.
+        assert!(start.elapsed() < std::time::Duration::from_secs(10));
+    }
+
+    #[test]
+    fn run_with_deadline_returns_a_value_that_arrives_in_time() {
+        let rt = TmRuntime::new();
+        let v = TVar::new(0u64);
+        let producer = {
+            let rt = rt.clone();
+            let v = v.clone();
+            std::thread::spawn(move || {
+                while rt.retry_stats().parked_waits == 0 {
+                    std::thread::yield_now();
+                }
+                rt.run(|tx| tx.write(&v, 7));
+            })
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let got = rt.run_with_deadline(deadline, |tx| {
+            let x = tx.read(&v)?;
+            if x == 0 {
+                return tx.retry();
+            }
+            Ok(x)
+        });
+        producer.join().unwrap();
+        assert_eq!(got, Ok(7));
+    }
+
+    #[test]
+    fn runtime_is_reusable_after_a_panicking_body() {
+        // The tested guarantee that replaced the old "fatal for the
+        // runtime" caveat: after a panic unwinds out of `run`, the same
+        // runtime keeps committing on the same thread, the epoch advanced
+        // (nobody stalls serialized behind the dead attempt), and stats
+        // keep flowing.
+        use crate::epoch::AttemptEpochs;
+        use crate::thread::ThreadId;
+
+        let rt = TmRuntime::new();
+        let v = TVar::new(0u64);
+        rt.run(|tx| tx.modify(&v, |x| x + 1));
+        let epoch_before = rt.inner.registry.epoch_of(ThreadId::from_u16(1));
+        for _ in 0..3 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rt.run(|tx| {
+                    tx.write(&v, 99)?;
+                    panic!("boom");
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })
+            }));
+            assert!(result.is_err());
+        }
+        let epoch_after = rt.inner.registry.epoch_of(ThreadId::from_u16(1));
+        assert!(
+            epoch_after > epoch_before,
+            "abandoned attempts must advance the epoch: {epoch_before:?} -> {epoch_after:?}"
+        );
+        rt.run(|tx| tx.modify(&v, |x| x + 1));
+        assert_eq!(v.snapshot(), 2, "panicked writes rolled back");
+        assert_eq!(rt.stats().commits, 2);
     }
 }

@@ -77,7 +77,11 @@ impl fmt::Debug for SchedCtx<'_> {
 /// # Contract
 ///
 /// * Every attempt is bracketed: `before_start` is followed by exactly one
-///   of `on_commit`, `on_abort` or `on_retry_wait` for the same thread.
+///   of `on_commit`, `on_abort` or `on_retry_wait` for the same thread —
+///   or, when the attempt is abandoned without a normal completion (the
+///   body panicked and is unwinding, or a non-retryable error such as a
+///   foreign-`TVar` access cut the attempt short), by
+///   [`on_reset`](TxScheduler::on_reset).
 /// * `reads` and `writes` slices passed to the completion hooks list the
 ///   variables accessed by the finished attempt. `reads` may contain
 ///   duplicates (one entry per dynamic read); `writes` is duplicate-free.
@@ -139,6 +143,22 @@ pub trait TxScheduler: Send + Sync + fmt::Debug {
         let _ = (ctx, reads, writes);
     }
 
+    /// Called when an attempt is abandoned without a normal completion hook:
+    /// the body panicked (this runs during unwinding, from the runtime's
+    /// attempt drop-guard), or a non-retryable error ended the retry loop
+    /// mid-attempt. The implementation **must** release any serialization
+    /// acquired in [`before_start`](TxScheduler::before_start) and clear
+    /// per-thread attempt state (pending schedule-after targets, active
+    /// predictions), leaving the scheduler ready for the thread's next
+    /// `before_start` — this is what makes a panicking transaction body
+    /// recoverable instead of fatal for the runtime. May be called when no
+    /// serialization is held (it can fire after a completion hook already
+    /// ran); implementations must tolerate that, e.g. by releasing
+    /// conditionally. Must not panic.
+    fn on_reset(&self, ctx: &SchedCtx<'_>) {
+        let _ = ctx;
+    }
+
     /// A short name for reports ("noop", "shrink", "ats", ...).
     fn name(&self) -> &str;
 }
@@ -189,6 +209,7 @@ mod tests {
             &[],
         );
         s.on_retry_wait(&ctx, &[], &[]);
+        s.on_reset(&ctx);
         assert_eq!(s.name(), "noop");
     }
 

@@ -239,12 +239,17 @@ impl ThreadCtx {
     /// this one. Called by the runtime after the completion hook of each
     /// attempt.
     pub(crate) fn finish_attempt(&self) {
+        // Delay-only site: this also runs from panic-cleanup guards.
+        let _ = crate::failpoint!(crate::faults::FaultSite::EpochAdvance);
         self.epoch.advance();
     }
 
     /// Marks this thread as departed and wakes its epoch waiters. Runs from
     /// the thread-local registration guard when the OS thread exits.
     pub(crate) fn retire(&self) {
+        // Delay-only site: this runs inside a TLS destructor, where a panic
+        // would abort the process.
+        let _ = crate::failpoint!(crate::faults::FaultSite::EpochRetire);
         self.epoch.retire();
     }
 

@@ -1,6 +1,7 @@
 //! Transactional variables.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::cell::ValueCell;
@@ -19,6 +20,44 @@ impl<T: Clone + Send + Sync + 'static> TxValue for T {}
 pub(crate) struct TVarInner<T> {
     pub(crate) id: VarId,
     pub(crate) cell: ValueCell<T>,
+    /// Id of the [`TmRuntime`](crate::TmRuntime) this variable is bound to;
+    /// 0 until the first transactional access binds it. Orec striping and
+    /// retry waitlists are per-runtime, so a variable used through two
+    /// runtimes would validate against the wrong orec table and park on a
+    /// waitlist no committer ever notifies — transactional paths check this
+    /// stamp and reject foreign access with a typed error instead.
+    owner: AtomicU64,
+}
+
+impl<T> TVarInner<T> {
+    /// Binds the variable to runtime `rt` if unbound, or checks the stamp.
+    /// `Err` carries the owning runtime's id on a cross-runtime access.
+    #[inline]
+    pub(crate) fn bind_owner(&self, rt: u64) -> Result<(), u64> {
+        let cur = self.owner.load(Ordering::Relaxed);
+        if cur == rt {
+            return Ok(());
+        }
+        if cur == 0 {
+            return match self
+                .owner
+                .compare_exchange(0, rt, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => Ok(()),
+                Err(actual) if actual == rt => Ok(()),
+                Err(actual) => Err(actual),
+            };
+        }
+        Err(cur)
+    }
+
+    /// The bound runtime id, if any.
+    pub(crate) fn owner_id(&self) -> Option<u64> {
+        match self.owner.load(Ordering::Relaxed) {
+            0 => None,
+            id => Some(id),
+        }
+    }
 }
 
 /// A transactional variable: a shared cell readable and writable inside
@@ -66,8 +105,19 @@ impl<T: TxValue> TVar<T> {
             inner: Arc::new(TVarInner {
                 id: VarId::fresh(),
                 cell: ValueCell::new(value),
+                owner: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Id of the [`TmRuntime`](crate::TmRuntime) this variable is bound to,
+    /// or `None` before its first transactional access. Diagnostic companion
+    /// to the [`TmError::ForeignTVar`](crate::TmError::ForeignTVar)
+    /// contract: a variable binds to the first runtime that reads or writes
+    /// it transactionally and every later access must come through that
+    /// runtime ([`TVar::snapshot`] stays runtime-free).
+    pub fn owner_runtime(&self) -> Option<u64> {
+        self.inner.owner_id()
     }
 
     /// The stable identifier of this variable (the "address" that schedulers

@@ -37,6 +37,7 @@ use std::time::Instant;
 use crate::backoff::{parked_nap_due, pause, PARK_NAP};
 use crate::config::{BackendKind, CmPolicy, TxnKind, WaitPolicy};
 use crate::error::{Abort, AbortReason, TxResult};
+use crate::faults::FaultSite;
 use crate::orec::OrecSnapshot;
 use crate::runtime::RuntimeInner;
 use crate::sched::SchedCtx;
@@ -108,6 +109,16 @@ struct Checkpoint {
     overwrites: Vec<(usize, Box<dyn PendingWrite>)>,
 }
 
+/// Details of a rejected cross-runtime access, recorded by the owner check
+/// so the retry loop can build the full
+/// [`TmError::ForeignTVar`](crate::error::TmError) (the [`Abort`] itself
+/// only carries the reason).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ForeignAccess {
+    pub(crate) var: VarId,
+    pub(crate) owner: u64,
+}
+
 /// An in-flight transaction attempt.
 ///
 /// Handed to the body closure by [`TmRuntime::run`](crate::TmRuntime::run);
@@ -129,6 +140,8 @@ pub struct Tx<'rt> {
     owned_order: Vec<usize>,
     /// Active [`or_else`](Tx::or_else) rollback points, innermost last.
     checkpoints: Vec<Checkpoint>,
+    /// Set when the body touched a `TVar` bound to another runtime.
+    foreign: Option<ForeignAccess>,
     finished: bool,
 }
 
@@ -150,6 +163,7 @@ impl<'rt> Tx<'rt> {
             owned_orecs: HashSet::new(),
             owned_order: Vec::new(),
             checkpoints: Vec::new(),
+            foreign: None,
             finished: false,
         }
     }
@@ -397,6 +411,30 @@ impl<'rt> Tx<'rt> {
         }
     }
 
+    /// Binds `tvar` to this runtime on first transactional use, or rejects
+    /// the access when it is already bound to a different runtime (orec
+    /// striping and retry waitlists are per-runtime; see
+    /// [`TmError::ForeignTVar`](crate::error::TmError)).
+    #[inline]
+    fn check_owner<T>(&mut self, inner: &TVarInner<T>) -> TxResult<()> {
+        match inner.bind_owner(self.rt.id) {
+            Ok(()) => Ok(()),
+            Err(owner) => {
+                self.foreign = Some(ForeignAccess {
+                    var: inner.id,
+                    owner,
+                });
+                Err(Abort::new(AbortReason::ForeignTVar))
+            }
+        }
+    }
+
+    /// The rejected cross-runtime access, when the last abort was
+    /// [`AbortReason::ForeignTVar`].
+    pub(crate) fn foreign_access(&self) -> Option<ForeignAccess> {
+        self.foreign
+    }
+
     /// Transactionally reads `tvar`.
     ///
     /// # Errors
@@ -405,6 +443,7 @@ impl<'rt> Tx<'rt> {
     /// wait timeout, or a contention-manager kill.
     pub fn read<T: TxValue>(&mut self, tvar: &TVar<T>) -> TxResult<T> {
         self.check_kill()?;
+        self.check_owner(&tvar.inner)?;
         self.ctx.bump_accesses();
         let var = tvar.inner.id;
 
@@ -520,6 +559,7 @@ impl<'rt> Tx<'rt> {
     /// lock wait timeout, or a contention-manager kill.
     pub fn write<T: TxValue>(&mut self, tvar: &TVar<T>, value: T) -> TxResult<()> {
         self.check_kill()?;
+        self.check_owner(&tvar.inner)?;
         self.ctx.bump_accesses();
         let var = tvar.inner.id;
 
@@ -565,6 +605,9 @@ impl<'rt> Tx<'rt> {
     }
 
     fn acquire_stripe(&mut self, idx: usize, var: VarId) -> TxResult<()> {
+        if crate::failpoint!(FaultSite::OrecAcquire) {
+            return Err(Abort::new(AbortReason::FaultInjected));
+        }
         let mut spins: u32 = 0;
         let mut polite_attempts: u32 = 0;
         let mut requested_kill = false;
@@ -705,17 +748,29 @@ impl<'rt> Tx<'rt> {
         if commit_ts > self.start_ts + 1 && !self.read_log_valid() {
             return Err(Abort::new(AbortReason::CommitValidation));
         }
+        // Mid-commit hazard window: commit locks are held and validation
+        // passed, but nothing is published yet — a panic or spurious abort
+        // here rolls back cleanly (`unlock_abort` restores the pre-lock
+        // versions). The install loop below is deliberately *not* a
+        // failpoint: interrupting it would publish a torn write set.
+        if crate::failpoint!(FaultSite::CommitInstall) {
+            return Err(Abort::new(AbortReason::FaultInjected));
+        }
         for w in &self.write_log {
             w.install();
         }
         for &idx in &self.owned_order {
             self.rt.orecs.at(idx).unlock_commit(self.me, commit_ts);
         }
+        // The commit is durable once the version stamps above are released;
+        // mark finished *before* waking waiters so a panic injected inside
+        // the notify path cannot make the drop-rollback revert freshly
+        // committed stripes.
+        self.finished = true;
         // Wake transactions parked in `Tx::retry` on any stripe this commit
         // wrote — after the version stamps above, so a woken waiter always
         // observes the stripe moved (DESIGN.md §9).
         self.rt.retry_waits.notify_commit(&self.owned_order);
-        self.finished = true;
         Ok(())
     }
 
@@ -724,6 +779,9 @@ impl<'rt> Tx<'rt> {
         if self.finished {
             return;
         }
+        // Delay-only site (this path runs during unwinds): widens the
+        // window in which other threads observe the stripes still locked.
+        let _ = crate::failpoint!(FaultSite::OrecRelease);
         for &idx in &self.owned_order {
             self.rt.orecs.at(idx).unlock_abort(self.me);
         }
@@ -897,6 +955,8 @@ pub struct ReadTx<'rt> {
     /// Timestamp extensions performed by this attempt (flushed to
     /// `ThreadCtx::ro_revalidations`; restarts are counted by the driver).
     revalidations: u64,
+    /// Set when the body touched a `TVar` bound to another runtime.
+    foreign: Option<ForeignAccess>,
 }
 
 impl<'rt> ReadTx<'rt> {
@@ -908,7 +968,14 @@ impl<'rt> ReadTx<'rt> {
             read_log: Vec::new(),
             reads: 0,
             revalidations: 0,
+            foreign: None,
         }
+    }
+
+    /// The rejected cross-runtime access, when the last abort was
+    /// [`AbortReason::ForeignTVar`].
+    pub(crate) fn foreign_access(&self) -> Option<ForeignAccess> {
+        self.foreign
     }
 
     /// The id of the thread running this transaction.
@@ -945,6 +1012,16 @@ impl<'rt> ReadTx<'rt> {
     /// [`TmRuntime::read_only`](crate::TmRuntime::read_only) catches this
     /// and restarts the body; it never surfaces to user code.
     pub fn read<T: TxValue>(&mut self, tvar: &TVar<T>) -> TxResult<T> {
+        // A foreign read would validate against the wrong runtime's orec
+        // table — a torn multi-variable snapshot, not just a lost wakeup —
+        // so the owner stamp is enforced on this path too.
+        if let Err(owner) = tvar.inner.bind_owner(self.rt.id) {
+            self.foreign = Some(ForeignAccess {
+                var: tvar.inner.id,
+                owner,
+            });
+            return Err(Abort::new(AbortReason::ForeignTVar));
+        }
         self.reads += 1;
         let idx = self.rt.orecs.index_of(tvar.inner.id);
         let mut spins: u32 = 0;

@@ -44,6 +44,7 @@ use std::time::Instant;
 
 use parking_lot::{EventCount, Mutex, WaitOutcome};
 
+use crate::faults::FaultSite;
 use crate::orec::OrecTable;
 
 /// Most wait buckets a runtime allocates; stripes hash down onto these.
@@ -154,6 +155,9 @@ impl StripeWaitlist {
         parker: &Arc<EventCount>,
         deadline: Instant,
     ) -> RetryWaitOutcome {
+        // Probed before any bucket is touched, so an injected panic here
+        // cannot leak a registration.
+        let _ = crate::failpoint!(FaultSite::WaitRegister);
         let observed = parker.version();
         let mut buckets: Vec<usize> = plan.iter().map(|&(s, _)| s & self.mask).collect();
         buckets.sort_unstable();
@@ -168,9 +172,17 @@ impl StripeWaitlist {
         // stamps. Without it both sides could read stale state and the wake
         // would be lost for a full deadline round.
         fence(Ordering::SeqCst);
-        let outcome = if Self::changed(orecs, plan) {
+        // Registered-but-not-deregistered window: only delays and forced
+        // spurious wakeups may be injected between here and the deregister
+        // loop (a panic would leak the registration). `WaitValidate` makes
+        // the validation claim a change, `EventPark` skips the park as if
+        // notified — both exercise the callers' revalidate-and-re-run loop.
+        let outcome = if crate::failpoint!(FaultSite::WaitValidate) || Self::changed(orecs, plan) {
             self.changed_before_park.fetch_add(1, Ordering::Relaxed);
             RetryWaitOutcome::Changed
+        } else if crate::failpoint!(FaultSite::EventPark) {
+            self.woken.fetch_add(1, Ordering::Relaxed);
+            RetryWaitOutcome::Woken
         } else {
             self.parked_waits.fetch_add(1, Ordering::Relaxed);
             match parker.wait_while_eq(observed, Some(deadline)) {
@@ -206,6 +218,11 @@ impl StripeWaitlist {
         if stripes.is_empty() {
             return;
         }
+        // A panic injected here unwinds out of a commit whose values are
+        // already durable: waiters miss this wake but revalidate on their
+        // bounded deadline, so the system degrades to a delayed wakeup
+        // rather than a lost one.
+        let _ = crate::failpoint!(FaultSite::WaitWake);
         // Pairs with the fence in `wait` (see there).
         fence(Ordering::SeqCst);
         for (i, &stripe) in stripes.iter().enumerate() {
