@@ -84,6 +84,7 @@ fn uncontended(name: &str, iters: u64, lock: &dyn Lockable, records: &mut Vec<Re
         victim_ops_per_s: None,
         ctxt_per_op: None,
         wasted_per_op: None,
+        bytes_per_op: None,
         wall_s: wall,
     });
 }
@@ -187,6 +188,7 @@ fn convoy(
         victim_ops_per_s: Some(victim_ops_per_s),
         ctxt_per_op,
         wasted_per_op: None,
+        bytes_per_op: None,
         wall_s: wall,
     });
     ConvoyOutcome {
@@ -267,6 +269,7 @@ fn overload_stm(
         victim_ops_per_s: None,
         ctxt_per_op: ctxt_per_commit,
         wasted_per_op: None,
+        bytes_per_op: None,
         wall_s: wall,
     });
     OverloadOutcome {

@@ -67,6 +67,7 @@ fn probe(
         victim_ops_per_s: None,
         ctxt_per_op: None,
         wasted_per_op: None,
+        bytes_per_op: None,
         wall_s: wall,
     });
     med
@@ -184,6 +185,7 @@ fn scan_cell(
         victim_ops_per_s: None,
         ctxt_per_op: None,
         wasted_per_op: None,
+        bytes_per_op: None,
         wall_s: started.elapsed().as_secs_f64(),
     });
     med

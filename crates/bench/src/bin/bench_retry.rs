@@ -116,6 +116,7 @@ fn wake_latency_parked(rounds: u32, records: &mut Vec<Record>) -> f64 {
         victim_ops_per_s: None,
         ctxt_per_op: None,
         wasted_per_op: Some(stats.wasted_wakes as f64 / rounds as f64),
+        bytes_per_op: None,
         wall_s: wall,
     });
     med
@@ -191,6 +192,7 @@ fn wake_latency_spin(rounds: u32, records: &mut Vec<Record>) -> (f64, f64) {
         victim_ops_per_s: None,
         ctxt_per_op: None,
         wasted_per_op: None,
+        bytes_per_op: None,
         wall_s: wall,
     });
     (med, polls)
@@ -249,6 +251,7 @@ fn unrelated_commits(commits: u64, records: &mut Vec<Record>) -> f64 {
         victim_ops_per_s: None,
         ctxt_per_op: None,
         wasted_per_op: Some(per_commit),
+        bytes_per_op: None,
         wall_s: wall,
     });
     per_commit
@@ -340,6 +343,7 @@ fn mpmc(
         victim_ops_per_s: None,
         ctxt_per_op: ctxt_per_item,
         wasted_per_op: (items > 0).then_some(wasted as f64 / items as f64),
+        bytes_per_op: None,
         wall_s: wall,
     });
     outcome

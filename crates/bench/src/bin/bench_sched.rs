@@ -108,6 +108,7 @@ fn wake_latency(name: &str, parked: bool, rounds: u32, records: &mut Vec<Record>
         victim_ops_per_s: None,
         ctxt_per_op: None,
         wasted_per_op: None,
+        bytes_per_op: None,
         wall_s: wall,
     });
     med
@@ -146,6 +147,7 @@ fn wasted_quiet(advances: u64, records: &mut Vec<Record>) -> f64 {
         victim_ops_per_s: None,
         ctxt_per_op: None,
         wasted_per_op: Some(per_op),
+        bytes_per_op: None,
         wall_s: wall,
     });
     per_op
@@ -215,6 +217,7 @@ fn wasted_churn(waiters: usize, advances: u64, records: &mut Vec<Record>) -> f64
         victim_ops_per_s: None,
         ctxt_per_op: None,
         wasted_per_op: Some(per_op),
+        bytes_per_op: None,
         wall_s: wall,
     });
     per_op
@@ -291,6 +294,7 @@ fn serializer_convoy(
         victim_ops_per_s: None,
         ctxt_per_op: ctxt_per_commit,
         wasted_per_op: None,
+        bytes_per_op: None,
         wall_s: wall,
     });
     ConvoyOutcome {

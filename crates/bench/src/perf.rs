@@ -40,6 +40,9 @@ pub struct Record {
     /// Wasted wakeups per operation: wake syscalls issued that released no
     /// thread (`bench_sched` epoch-futex probes only).
     pub wasted_per_op: Option<f64>,
+    /// Resident memory per operation unit, bytes — e.g. RSS per blocked
+    /// consumer in `bench_async`'s footprint probes (`None` elsewhere).
+    pub bytes_per_op: Option<f64>,
     /// Wall-clock length of the measurement window, seconds.
     pub wall_s: f64,
 }
@@ -73,6 +76,17 @@ pub fn cpu_seconds() -> Option<f64> {
     let utime: u64 = fields.get(11)?.parse().ok()?;
     let stime: u64 = fields.get(12)?.parse().ok()?;
     Some((utime + stime) as f64 / 100.0)
+}
+
+/// Resident set size of this process, in bytes, from `/proc/self/status`
+/// (`VmRSS`). The footprint probes (`bench_async`) difference it around a
+/// population of blocked waiters; note it counts touched pages only, so a
+/// thread's 8 MiB stack shows up as just the few pages it dirtied.
+pub fn resident_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// Context switches (voluntary + involuntary) summed over every thread of
@@ -167,7 +181,7 @@ pub fn write_json(path: &str, bench: &str, quick: bool, records: &[Record]) {
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"threads\": {}, \"ops_per_s\": {}, \"ns_per_op\": {}, \"cpu_util\": {}, \"victim_ops_per_s\": {}, \"ctxt_per_op\": {}, \"wasted_per_op\": {}, \"wall_s\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"threads\": {}, \"ops_per_s\": {}, \"ns_per_op\": {}, \"cpu_util\": {}, \"victim_ops_per_s\": {}, \"ctxt_per_op\": {}, \"wasted_per_op\": {}, \"bytes_per_op\": {}, \"wall_s\": {}}}{}\n",
             r.name,
             r.threads,
             num(r.ops_per_s),
@@ -176,6 +190,7 @@ pub fn write_json(path: &str, bench: &str, quick: bool, records: &[Record]) {
             r.victim_ops_per_s.map_or("null".into(), num),
             r.ctxt_per_op.map_or("null".into(), |v| format!("{v:.6}")),
             r.wasted_per_op.map_or("null".into(), |v| format!("{v:.6}")),
+            r.bytes_per_op.map_or("null".into(), |v| format!("{v:.1}")),
             num(r.wall_s),
             if i + 1 == records.len() { "" } else { "," }
         ));
@@ -222,6 +237,7 @@ mod tests {
             victim_ops_per_s: None,
             ctxt_per_op: Some(0.25),
             wasted_per_op: None,
+            bytes_per_op: None,
             wall_s: 0.1,
         }];
         write_json(path.to_str().unwrap(), "test", true, &records);

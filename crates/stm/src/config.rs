@@ -183,6 +183,33 @@ pub struct TmConfig {
     /// read set, a wait-bucket alias race) and what bounds
     /// [`run_budgeted`](crate::TmRuntime::run_budgeted) on a permanently
     /// blocked transaction.
+    ///
+    /// # Round semantics, thread-parked vs. async
+    ///
+    /// This is the authoritative description of how `retry_wait` interacts
+    /// with the two blocking modes and with
+    /// [`run_with_deadline`](crate::TmRuntime::run_with_deadline):
+    ///
+    /// * **Thread-parked round** ([`TmRuntime::run`](crate::TmRuntime::run)
+    ///   and friends): each retry round parks the OS thread for at most
+    ///   `retry_wait`, then re-runs the body regardless — a bounded
+    ///   sleep-revalidate loop. Under `run_with_deadline` every round's
+    ///   bound is *clamped per round* to `min(now + retry_wait, deadline)`,
+    ///   so a 30 s `retry_wait` never overshoots a 50 ms deadline; once the
+    ///   deadline passes, a round that timed out with nothing new returns
+    ///   [`TmError::RetryTimeout`](crate::TmError::RetryTimeout).
+    /// * **Async round**
+    ///   ([`atomically_async`](crate::future::atomically_async)): a
+    ///   suspended [`TxFuture`](crate::future::TxFuture) consumes no thread,
+    ///   so there is nothing to time out — `retry_wait` is **not consulted**.
+    ///   The future re-polls only when a commit bumps a watched stripe (or
+    ///   when its executor polls it spuriously, which just revalidates and
+    ///   re-suspends). The safety-net role `retry_wait` plays for threads is
+    ///   unnecessary there: bucket aliasing can only cause spurious wakes,
+    ///   never missed ones, and a retry with an *empty* read set — the one
+    ///   wait no commit can ever satisfy — pends forever, which is the
+    ///   documented contract for that body bug. Callers who want a bounded
+    ///   async wait should race the future against their executor's timer.
     pub retry_wait: Duration,
 }
 

@@ -27,7 +27,12 @@
 //!   readers snapshot the clock once and validate per read with **zero orec
 //!   writes, zero commit ticket, zero waitlist registration** — they never
 //!   abort a writer and are invisible to the schedulers (DESIGN.md §10).
-//!   Read-path code generic over [`TxRead`] runs on both paths.
+//!   Read-path code generic over [`TxRead`] runs on both paths;
+//! * async transactions ([`atomically_async`] / [`future::TxFuture`]): the
+//!   same synchronous bodies run as futures — a blocked [`Tx::retry`]
+//!   suspends the task with a `Waker`-backed parker on the same per-stripe
+//!   waitlists instead of parking a thread, so 100k+ blocked consumers fit
+//!   on a handful of executor workers (DESIGN.md §12).
 //!
 //! ## Quick start
 //!
@@ -72,6 +77,7 @@ pub mod config;
 pub mod epoch;
 pub mod error;
 pub mod faults;
+pub mod future;
 pub mod orec;
 pub mod runtime;
 pub mod sched;
@@ -88,6 +94,7 @@ pub use config::{BackendKind, CmPolicy, TmConfig, TxnKind, WaitPolicy};
 pub use epoch::{AttemptEpochs, EpochTable, EpochWaitOutcome, NoEpochs};
 pub use error::{Abort, AbortReason, TmError, TxResult};
 pub use faults::{FaultKind, FaultSite};
+pub use future::{atomically_async, TxFuture};
 pub use runtime::{atomically, quiesce, TmBuilder, TmRuntime};
 pub use sched::{NoopScheduler, SchedCtx, TxScheduler};
 pub use stats::{ThreadStats, TmStats};

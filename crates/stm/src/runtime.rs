@@ -70,7 +70,7 @@ pub(crate) struct RuntimeInner {
 /// `Tx` drops first (rollback: stripe locks released, versions restored)
 /// and this guard second — the scheduler reset never observes the attempt's
 /// stripes still locked.
-struct AttemptGuard<'a> {
+pub(crate) struct AttemptGuard<'a> {
     inner: &'a RuntimeInner,
     ctx: &'a ThreadCtx,
     kind: TxnKind,
@@ -78,7 +78,7 @@ struct AttemptGuard<'a> {
 }
 
 impl<'a> AttemptGuard<'a> {
-    fn new(inner: &'a RuntimeInner, ctx: &'a ThreadCtx, kind: TxnKind) -> Self {
+    pub(crate) fn new(inner: &'a RuntimeInner, ctx: &'a ThreadCtx, kind: TxnKind) -> Self {
         AttemptGuard {
             inner,
             ctx,
@@ -87,7 +87,7 @@ impl<'a> AttemptGuard<'a> {
         }
     }
 
-    fn sched_ctx(&self) -> SchedCtx<'_> {
+    pub(crate) fn sched_ctx(&self) -> SchedCtx<'_> {
         SchedCtx {
             thread: self.ctx.id(),
             visible: &self.inner.orecs,
@@ -99,7 +99,7 @@ impl<'a> AttemptGuard<'a> {
     /// Normal completion: a completion hook ran; advance the attempt epoch
     /// (read-write attempts only — read-only transactions never advance
     /// epochs, in either completion mode) and disarm.
-    fn complete(mut self) {
+    pub(crate) fn complete(mut self) {
         self.armed = false;
         if self.kind == TxnKind::ReadWrite {
             // Bump-and-wake *after* the hook: a victim released here
@@ -214,6 +214,13 @@ impl TmBuilder {
 
     /// Sets the bounded deadline of one parked [`Tx::retry`] round (the
     /// safety net against waits no commit will ever satisfy).
+    ///
+    /// Applies to thread-parked rounds only; a suspended
+    /// [`TxFuture`](crate::future::TxFuture) is purely wake-driven and does
+    /// not consult it. See [`TmConfig::retry_wait`] for the full round
+    /// semantics, including how
+    /// [`run_with_deadline`](TmRuntime::run_with_deadline) clamps each
+    /// round to `min(now + retry_wait, deadline)`.
     #[must_use]
     pub fn retry_wait(mut self, deadline: Duration) -> Self {
         self.config.retry_wait = deadline;
@@ -291,7 +298,7 @@ impl TmBuilder {
 /// ```
 #[derive(Clone)]
 pub struct TmRuntime {
-    inner: Arc<RuntimeInner>,
+    pub(crate) inner: Arc<RuntimeInner>,
 }
 
 impl TmRuntime {
@@ -330,7 +337,7 @@ impl TmRuntime {
     }
 
     /// Registers the calling thread (if needed) and returns its context.
-    fn current_ctx(&self) -> Arc<ThreadCtx> {
+    pub(crate) fn current_ctx(&self) -> Arc<ThreadCtx> {
         THREAD_CTXS.with(|map| {
             let mut map = map.borrow_mut();
             if let Some(reg) = map.get(&self.inner.id) {
@@ -745,6 +752,17 @@ impl TmRuntime {
     /// yield-poll counterpart at all — these counters are the proof.
     pub fn retry_stats(&self) -> RetryStats {
         self.inner.retry_waits.stats()
+    }
+
+    /// Number of parkers currently registered on the retry waitlist —
+    /// thread and task parkers combined, counted once per watched bucket.
+    ///
+    /// Transient non-zero values are normal while transactions block; the
+    /// count returns to zero once every blocked transaction has been woken,
+    /// timed out, or (for futures) dropped. Tests use it to prove that a
+    /// cancelled [`TxFuture`](crate::future::TxFuture) leaked no slot.
+    pub fn retry_waiters(&self) -> u64 {
+        self.inner.retry_waits.registered()
     }
 }
 

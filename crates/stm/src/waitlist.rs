@@ -34,12 +34,40 @@
 //! `yield_now` poll loop at all, which is what the wait-op counters in
 //! [`RetryStats`] let tests and `bench_retry` prove.
 //!
+//! # Pluggable parkers
+//!
+//! A registered waiter is a [`Parker`], of which there are two kinds
+//! sharing one bucket list and one wake point:
+//!
+//! * [`Parker::Thread`] — an [`EventCount`](parking_lot::EventCount): the
+//!   waiter is an OS thread that futex-sleeps in [`wait`] until the count
+//!   advances. This is the classic [`Tx::retry`] path.
+//! * [`Parker::Task`] — an [`AsyncParker`]: the waiter is a *future*
+//!   ([`TxFuture`](crate::future::TxFuture)) that returned `Poll::Pending`
+//!   instead of blocking a thread. The commit-side advance bumps an atomic
+//!   wake epoch and fires the stored [`Waker`], handing the task back to
+//!   its executor. Registration goes through [`register_async`] /
+//!   [`deregister_async`] and follows the *same*
+//!   register→`SeqCst`-fence→validate protocol as [`wait`], so the
+//!   lost-wakeup argument above carries over unchanged — the only
+//!   difference is what "wake" means.
+//!
+//! The commit path treats both kinds identically:
+//! [`notify_commit`](StripeWaitlist::notify_commit) advances every parker
+//! registered on a written bucket at the exact point it would have futex-
+//! woken a thread, so sync and async waiters on the same bucket are woken
+//! by the same commit.
+//!
+//! [`wait`]: StripeWaitlist::wait
+//! [`register_async`]: StripeWaitlist::register_async
+//! [`deregister_async`]: StripeWaitlist::deregister_async
 //! [`Tx::retry`]: crate::Tx::retry
 //! [`TmConfig::retry_wait`]: crate::config::TmConfig::retry_wait
 
 use std::fmt;
 use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::Waker;
 use std::time::Instant;
 
 use parking_lot::{EventCount, Mutex, WaitOutcome};
@@ -49,6 +77,128 @@ use crate::orec::OrecTable;
 
 /// Most wait buckets a runtime allocates; stripes hash down onto these.
 const MAX_BUCKETS: usize = 1024;
+
+/// The `Waker`-backed parker of a suspended [`TxFuture`]: the async
+/// counterpart of [`EventCount`], mirroring its protocol with a task waker
+/// in place of a futex word.
+///
+/// * **Wake epoch** — an atomic counter bumped by every commit-side
+///   [`advance`](AsyncParker::advance), standing in for the event count's
+///   version word. The future samples it before registering and compares
+///   at every poll: "epoch moved" means "a watched commit happened while I
+///   was suspended".
+/// * **Waker slot** — the suspended task's [`Waker`], (re)stored on every
+///   poll per the `Future` contract and *taken* by the advance that wakes
+///   it.
+///
+/// # Lost-wakeup ordering
+///
+/// The poll side **stores the waker, then reads the epoch**; the advance
+/// side **bumps the epoch, then takes the waker** (both slot accesses under
+/// the same mutex). The mutex totally orders the two critical sections:
+/// if the poll's store comes first, the advance finds the fresh waker and
+/// wakes the task; if the advance's take comes first, the poll's epoch
+/// read is ordered after the bump and observes it, so the future
+/// re-attempts instead of suspending. Either way a commit that races a
+/// poll is never lost — the same crossing argument the event count's futex
+/// compare makes in hardware.
+///
+/// [`TxFuture`]: crate::future::TxFuture
+#[derive(Debug, Default)]
+pub(crate) struct AsyncParker {
+    /// Wake epoch (see above). 32 wrapping bits; a suspended future
+    /// compares for equality, so wrapping is harmless short of exactly
+    /// 2³² advances between two polls.
+    epoch: AtomicU32,
+    /// The suspended task's waker. `None` while no poll has stored one or
+    /// after an advance consumed it.
+    waker: Mutex<Option<Waker>>,
+}
+
+impl AsyncParker {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current wake epoch. `SeqCst` for the same reason as
+    /// [`EventCount::version`]: the sample must be ordered against the
+    /// committer's bump in the single total order both sides observe.
+    pub(crate) fn epoch(&self) -> u32 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Stores the suspended task's waker. Called on *every* poll — the
+    /// `Future` contract lets the executor swap wakers between polls, and
+    /// only the latest one is guaranteed to reach the current task.
+    ///
+    /// Callers must read [`epoch`](Self::epoch) *after* this returns (see
+    /// the type-level ordering note).
+    pub(crate) fn set_waker(&self, waker: &Waker) {
+        let mut slot = self.waker.lock();
+        match slot.as_ref() {
+            Some(old) if old.will_wake(waker) => {}
+            _ => *slot = Some(waker.clone()),
+        }
+    }
+
+    /// Drops the stored waker without waking, leaving the epoch untouched.
+    /// Used by deregistration paths so a cancelled future does not keep its
+    /// executor task alive through the parker.
+    pub(crate) fn clear_waker(&self) {
+        *self.waker.lock() = None;
+    }
+
+    /// Bumps the wake epoch and fires the stored waker, if any. Returns
+    /// `true` when a waker was actually delivered — the commit-side
+    /// analogue of [`EventCount::advance`] reporting `woken > 0`.
+    pub(crate) fn advance(&self) -> bool {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let woken = self.waker.lock().take();
+        match woken {
+            Some(waker) => {
+                waker.wake();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// One registered waiter: an OS thread futex-parked on an event count, or
+/// a suspended future reachable through its stored waker. Both kinds share
+/// the bucket lists and are advanced by the same
+/// [`notify_commit`](StripeWaitlist::notify_commit) pass.
+pub(crate) enum Parker {
+    /// A thread blocked in [`StripeWaitlist::wait`].
+    Thread(Arc<EventCount>),
+    /// A future suspended through [`StripeWaitlist::register_async`].
+    Task(Arc<AsyncParker>),
+}
+
+impl Parker {
+    fn is_thread(&self, parker: &Arc<EventCount>) -> bool {
+        matches!(self, Parker::Thread(p) if Arc::ptr_eq(p, parker))
+    }
+
+    fn is_task(&self, parker: &Arc<AsyncParker>) -> bool {
+        matches!(self, Parker::Task(p) if Arc::ptr_eq(p, parker))
+    }
+}
+
+/// How an async registration attempt ended.
+#[derive(Debug)]
+pub(crate) enum AsyncRegisterOutcome {
+    /// Validation caught a change after registering; the registration was
+    /// rolled back and the future should re-attempt immediately.
+    Changed,
+    /// The parker is registered on the returned buckets; the future should
+    /// return `Poll::Pending` and later pass the same buckets to
+    /// [`StripeWaitlist::deregister_async`].
+    Registered {
+        /// The deduplicated bucket indices holding the registration.
+        buckets: Vec<usize>,
+    },
+}
 
 /// How one bounded retry-wait round ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,17 +234,28 @@ pub struct RetryStats {
     pub wakes_issued: u64,
     /// Threads actually released by commit-side wakes.
     pub threads_woken: u64,
-    /// Wake syscalls that released nobody (the parker's owner had already
-    /// left — deadline expiry or a wake from another bucket in the same
-    /// instant).
+    /// Wake syscalls (or waker deliveries) that released nobody (the
+    /// parker's owner had already left — deadline expiry or a wake from
+    /// another bucket in the same instant — or, for a task, another stripe
+    /// of the same commit already consumed the waker).
     pub wasted_wakes: u64,
+    /// Futures suspended with a registered [`AsyncParker`] (the async
+    /// counterpart of `parked_waits`; a suspension parks a *task*, never a
+    /// thread).
+    pub async_parks: u64,
+    /// Suspended futures whose next poll found the wake epoch advanced —
+    /// the async counterpart of `woken`.
+    pub async_woken: u64,
+    /// Commit-side advances that delivered a stored waker to a suspended
+    /// task — the task counterpart of `threads_woken`.
+    pub tasks_woken: u64,
 }
 
 struct Bucket {
     /// Exact number of parkers currently registered (fast no-waiter skip on
     /// the commit path).
     waiters: AtomicU32,
-    list: Mutex<Vec<Arc<EventCount>>>,
+    list: Mutex<Vec<Parker>>,
 }
 
 /// The runtime-wide table of commit wait buckets (see the module docs).
@@ -108,6 +269,9 @@ pub(crate) struct StripeWaitlist {
     wakes_issued: AtomicU64,
     threads_woken: AtomicU64,
     wasted_wakes: AtomicU64,
+    async_parks: AtomicU64,
+    async_woken: AtomicU64,
+    tasks_woken: AtomicU64,
 }
 
 impl StripeWaitlist {
@@ -131,6 +295,9 @@ impl StripeWaitlist {
             wakes_issued: AtomicU64::new(0),
             threads_woken: AtomicU64::new(0),
             wasted_wakes: AtomicU64::new(0),
+            async_parks: AtomicU64::new(0),
+            async_woken: AtomicU64::new(0),
+            tasks_woken: AtomicU64::new(0),
         }
     }
 
@@ -159,13 +326,11 @@ impl StripeWaitlist {
         // cannot leak a registration.
         let _ = crate::failpoint!(FaultSite::WaitRegister);
         let observed = parker.version();
-        let mut buckets: Vec<usize> = plan.iter().map(|&(s, _)| s & self.mask).collect();
-        buckets.sort_unstable();
-        buckets.dedup();
+        let buckets = self.bucket_set(plan);
         for &b in &buckets {
             let bucket = &self.buckets[b];
             bucket.waiters.fetch_add(1, Ordering::SeqCst);
-            bucket.list.lock().push(Arc::clone(parker));
+            bucket.list.lock().push(Parker::Thread(Arc::clone(parker)));
         }
         // Pairs with the fence in `notify_commit`: a committer either sees
         // the registration above, or this validation sees its version
@@ -200,13 +365,100 @@ impl StripeWaitlist {
             let bucket = &self.buckets[b];
             {
                 let mut list = bucket.list.lock();
-                if let Some(pos) = list.iter().position(|p| Arc::ptr_eq(p, parker)) {
+                if let Some(pos) = list.iter().position(|p| p.is_thread(parker)) {
                     list.swap_remove(pos);
                 }
             }
             bucket.waiters.fetch_sub(1, Ordering::SeqCst);
         }
         outcome
+    }
+
+    /// The deduplicated wait-bucket indices of a retry plan.
+    fn bucket_set(&self, plan: &[(usize, u64)]) -> Vec<usize> {
+        let mut buckets: Vec<usize> = plan.iter().map(|&(s, _)| s & self.mask).collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        buckets
+    }
+
+    /// Registers a suspended future's parker on the buckets of `plan` —
+    /// the async counterpart of the register-and-validate half of
+    /// [`wait`](Self::wait), with identical protocol and failpoints: probe,
+    /// register on the deduped buckets, `SeqCst` fence, validate. The
+    /// caller must have stored the task's waker in `parker` **before**
+    /// calling (see [`AsyncParker`]'s ordering note); on
+    /// [`AsyncRegisterOutcome::Registered`] it returns `Poll::Pending` and
+    /// is responsible for eventually calling
+    /// [`deregister_async`](Self::deregister_async) with the returned
+    /// buckets — on wake *and* on cancellation (drop).
+    pub(crate) fn register_async(
+        &self,
+        orecs: &OrecTable,
+        plan: &[(usize, u64)],
+        parker: &Arc<AsyncParker>,
+    ) -> AsyncRegisterOutcome {
+        // Same probe discipline as `wait`: before any bucket is touched, so
+        // an injected panic cannot leak a registration.
+        let _ = crate::failpoint!(FaultSite::WaitRegister);
+        let buckets = self.bucket_set(plan);
+        for &b in &buckets {
+            let bucket = &self.buckets[b];
+            bucket.waiters.fetch_add(1, Ordering::SeqCst);
+            bucket.list.lock().push(Parker::Task(Arc::clone(parker)));
+        }
+        // Pairs with the fence in `notify_commit`, exactly as in `wait`: a
+        // committer either sees the registration above (and advances the
+        // parker, firing the stored waker), or this validation sees its
+        // version stamps.
+        fence(Ordering::SeqCst);
+        if crate::failpoint!(FaultSite::WaitValidate) || Self::changed(orecs, plan) {
+            self.deregister_async(&buckets, parker);
+            self.changed_before_park.fetch_add(1, Ordering::Relaxed);
+            return AsyncRegisterOutcome::Changed;
+        }
+        self.async_parks.fetch_add(1, Ordering::Relaxed);
+        AsyncRegisterOutcome::Registered { buckets }
+    }
+
+    /// Removes a future's parker from `buckets` (as returned by
+    /// [`register_async`](Self::register_async)) and drops any stored
+    /// waker. Idempotent per registration: positions are found by pointer
+    /// identity, so deregistering after a concurrent commit already woke
+    /// the task is harmless.
+    pub(crate) fn deregister_async(&self, buckets: &[usize], parker: &Arc<AsyncParker>) {
+        for &b in buckets {
+            let bucket = &self.buckets[b];
+            {
+                let mut list = bucket.list.lock();
+                if let Some(pos) = list.iter().position(|p| p.is_task(parker)) {
+                    list.swap_remove(pos);
+                }
+            }
+            bucket.waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+        // A waker left behind would keep the executor task alive (and a
+        // late advance would spuriously wake it); cancellation must sever
+        // that edge.
+        parker.clear_waker();
+    }
+
+    /// Books one suspended-future wake observation (the poll after a
+    /// commit-side advance) — the async counterpart of the `woken` bump in
+    /// [`wait`](Self::wait).
+    pub(crate) fn note_async_woken(&self) {
+        self.async_woken.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Exact number of parker registrations currently held across all
+    /// buckets (a waiter watching `k` buckets counts `k` times). Zero when
+    /// nobody — thread or task — is registered; what the cancellation
+    /// tests assert returns to zero after a suspended future is dropped.
+    pub(crate) fn registered(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|b| u64::from(b.waiters.load(Ordering::SeqCst)))
+            .sum()
     }
 
     /// Wakes every parker registered on the buckets of `stripes`. Called by
@@ -242,24 +494,49 @@ impl StripeWaitlist {
             // owner already left is harmless — the owner resamples its
             // version before the next registration, so a stale bump can at
             // worst cost one spurious (counted) wake.
-            let parkers: Vec<Arc<EventCount>> = {
+            let parkers: Vec<Parker> = {
                 let list = bucket.list.lock();
                 if list.is_empty() {
                     continue;
                 }
-                list.clone()
+                list.iter()
+                    .map(|p| match p {
+                        Parker::Thread(ec) => Parker::Thread(Arc::clone(ec)),
+                        Parker::Task(ap) => Parker::Task(Arc::clone(ap)),
+                    })
+                    .collect()
             };
             self.wakes_issued.fetch_add(1, Ordering::Relaxed);
             let mut released = 0u64;
+            let mut tasks = 0u64;
             let mut wasted = 0u64;
             for parker in &parkers {
-                let adv = parker.advance();
-                released += adv.woken as u64;
-                if adv.wake_issued && adv.woken == 0 {
-                    wasted += 1;
+                match parker {
+                    Parker::Thread(ec) => {
+                        let adv = ec.advance();
+                        released += adv.woken as u64;
+                        if adv.wake_issued && adv.woken == 0 {
+                            wasted += 1;
+                        }
+                    }
+                    Parker::Task(ap) => {
+                        // Bump-and-wake at the same point as the futex
+                        // advance: the stored waker hands the suspended
+                        // task back to its executor. No waker means the
+                        // future is mid-poll (it will read the bumped
+                        // epoch) or another stripe of this commit already
+                        // delivered it — counted wasted, same as a futex
+                        // wake that released nobody.
+                        if ap.advance() {
+                            tasks += 1;
+                        } else {
+                            wasted += 1;
+                        }
+                    }
                 }
             }
             self.threads_woken.fetch_add(released, Ordering::Relaxed);
+            self.tasks_woken.fetch_add(tasks, Ordering::Relaxed);
             self.wasted_wakes.fetch_add(wasted, Ordering::Relaxed);
         }
     }
@@ -274,6 +551,9 @@ impl StripeWaitlist {
             wakes_issued: self.wakes_issued.load(Ordering::Relaxed),
             threads_woken: self.threads_woken.load(Ordering::Relaxed),
             wasted_wakes: self.wasted_wakes.load(Ordering::Relaxed),
+            async_parks: self.async_parks.load(Ordering::Relaxed),
+            async_woken: self.async_woken.load(Ordering::Relaxed),
+            tasks_woken: self.tasks_woken.load(Ordering::Relaxed),
         }
     }
 }

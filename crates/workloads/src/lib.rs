@@ -27,5 +27,5 @@ pub mod stamp;
 pub mod stmbench7;
 
 pub use harness::{run_fixed_steps, run_throughput, RunConfig, RunOutcome, TxWorkload};
-pub use queue::{QueueMode, QueueWorkload, TxQueue};
+pub use queue::{AsyncQueueChurn, ChurnTask, QueueMode, QueueWorkload, TxQueue};
 pub use rbtree::{RbTreeWorkload, TxRbTree};

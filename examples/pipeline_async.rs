@@ -1,0 +1,122 @@
+//! The blocking pipeline of `examples/pipeline.rs`, rebuilt on futures:
+//! the same bounded [`TxQueue`]s and the same one-transaction pop+push
+//! hops, but every stage is a *task* on a small thread pool instead of an
+//! OS thread. A stage whose input queue is empty (or output queue full)
+//! suspends its future inside `Tx::retry` — its `Waker` parks on the
+//! queue's stripes — and the neighbouring stage's commit wakes it. Many
+//! more stages than worker threads run concurrently; none of them owns a
+//! thread while blocked.
+//!
+//! Run with: `cargo run --release --example pipeline_async`
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use futures::executor::ThreadPool;
+use shrink::prelude::*;
+
+const ITEMS: u64 = 5_000;
+/// Squaring tasks — note: more tasks than pool threads, on purpose.
+const WORKERS: usize = 8;
+/// Worker threads actually driving all the tasks.
+const POOL_THREADS: usize = 2;
+/// Poison pill: tells a squaring task to shut down.
+const STOP: u64 = u64::MAX;
+
+fn main() {
+    let rt = TmRuntime::new();
+    let raw: Arc<TxQueue<u64>> = Arc::new(TxQueue::new(16));
+    let squared: Arc<TxQueue<u64>> = Arc::new(TxQueue::new(16));
+    let pool = ThreadPool::builder()
+        .pool_size(POOL_THREADS)
+        .name_prefix("pipeline-")
+        .create()
+        .expect("spawn executor");
+
+    // Stage 2: squaring tasks. Each pop+push is ONE transaction, exactly
+    // as in the thread version — the body is still a synchronous closure;
+    // only the *blocking* became a suspension.
+    let (worker_done, workers_done) = mpsc::channel::<()>();
+    for _ in 0..WORKERS {
+        let rt = rt.clone();
+        let raw = Arc::clone(&raw);
+        let squared = Arc::clone(&squared);
+        let done = worker_done.clone();
+        pool.spawn_ok(async move {
+            loop {
+                let raw = Arc::clone(&raw);
+                let squared = Arc::clone(&squared);
+                let stop = atomically_async(&rt, move |tx| {
+                    let n = raw.pop(tx)?;
+                    if n == STOP {
+                        return Ok(true);
+                    }
+                    squared.push(tx, n * n)?;
+                    Ok(false)
+                })
+                .await;
+                if stop {
+                    done.send(()).expect("main waits for workers");
+                    return;
+                }
+            }
+        });
+    }
+    drop(worker_done);
+
+    // Stage 3: the folding sink — a future too, spawned on the same pool.
+    let (sum_out, sum_in) = mpsc::channel::<u64>();
+    {
+        let rt = rt.clone();
+        let squared = Arc::clone(&squared);
+        pool.spawn_ok(async move {
+            let mut sum: u64 = 0;
+            for _ in 0..ITEMS {
+                let squared = Arc::clone(&squared);
+                sum += atomically_async(&rt, move |tx| squared.pop(tx)).await;
+            }
+            sum_out.send(sum).expect("main waits for the sum");
+        });
+    }
+
+    // Stage 1: the generator, driven to completion on the main thread with
+    // `block_on` — backpressure suspends it while the pipe is full.
+    futures::executor::block_on(async {
+        for n in 1..=ITEMS {
+            let raw = Arc::clone(&raw);
+            atomically_async(&rt, move |tx| raw.push(tx, n)).await;
+        }
+        // Poison the worker tasks (one pill each) through the same queue.
+        for _ in 0..WORKERS {
+            let raw = Arc::clone(&raw);
+            atomically_async(&rt, move |tx| raw.push(tx, STOP)).await;
+        }
+    });
+
+    let sum = sum_in.recv().expect("sink task panicked");
+    for _ in 0..WORKERS {
+        workers_done.recv().expect("worker task panicked");
+    }
+
+    let expected: u64 = (1..=ITEMS).map(|n| n * n).sum();
+    let stats = rt.stats();
+    let waits = rt.retry_stats();
+    println!("sum of squares 1..={ITEMS}: {sum} (expected {expected})");
+    println!(
+        "transactions: {stats} + {} retry suspensions across {} tasks on {POOL_THREADS} threads",
+        stats.retry_waits,
+        WORKERS + 2
+    );
+    println!(
+        "async wake path: {} suspensions, {} woken by commits, {} wakers delivered, {} wasted",
+        waits.async_parks, waits.async_woken, waits.tasks_woken, waits.wasted_wakes
+    );
+    assert_eq!(
+        sum, expected,
+        "pipeline must deliver every item exactly once"
+    );
+    assert_eq!(
+        waits.parked_waits, 0,
+        "nothing in this example ever parks a thread in retry"
+    );
+}

@@ -359,3 +359,62 @@ fn deadline_survives_fault_schedule() {
     rt.run(|tx| tx.write(&v, 5));
     assert_eq!(v.snapshot(), 5);
 }
+
+/// The async suspension path under an injected wake storm: spurious
+/// `Changed` outcomes out of register-validate (plus delays widening the
+/// race windows) force suspended `TxFuture`s to revalidate and re-register,
+/// and they must neither return early nor miss the real commit. The async
+/// analogue of [`spurious_wakes_do_not_break_retry`].
+#[test]
+fn async_futures_survive_spurious_wakes() {
+    let _serial = serialize();
+    let _quiet = quiet();
+    let rounds = 20 * stress_factor();
+    let rt = TmRuntime::new();
+    let v = TVar::new(0u64);
+    // Bind + register while inert.
+    rt.run(|tx| tx.write(&v, 0));
+    let _guard = ScheduleBuilder::new(11)
+        .rate_per_mille(500)
+        .sites(&[
+            FaultSite::WaitRegister,
+            FaultSite::WaitValidate,
+            FaultSite::WaitWake,
+        ])
+        .kinds(&[FaultKind::SpuriousWake, FaultKind::Delay])
+        .install();
+    faults::reset_stats();
+    for round in 1..=rounds as u64 {
+        let consumer = {
+            let rt = rt.clone();
+            let v = v.clone();
+            // Drive the future on its own thread so the commit below can
+            // race it; `block_on` parks that thread while suspended, the
+            // transaction itself stays on the async waitlist path.
+            std::thread::spawn(move || {
+                futures::executor::block_on(atomically_async(&rt, move |tx| {
+                    let x = tx.read(&v)?;
+                    if x < round {
+                        return tx.retry();
+                    }
+                    Ok(x)
+                }))
+            })
+        };
+        // No waiter-count handshake: injected `Changed` outcomes may keep
+        // the future bouncing without a stable registration to observe.
+        std::thread::sleep(Duration::from_millis(2));
+        rt.run(|tx| tx.write(&v, round));
+        assert_eq!(consumer.join().unwrap(), round);
+    }
+    assert_eq!(
+        rt.retry_waiters(),
+        0,
+        "every suspension deregistered despite the storm"
+    );
+    let injected = faults::stats();
+    assert!(
+        injected.spurious_wakes > 0,
+        "the wake storm never fired: {injected}"
+    );
+}

@@ -509,3 +509,188 @@ fn pipeline_hops_work_under_the_shrink_scheduler() {
         "no lost wakeups under Shrink"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Sync/async interop: thread-parked and future-suspended waiters share the
+// same per-stripe buckets, so one commit must wake both kinds (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+/// Deterministic mixed wake: a thread parked in `Tx::retry` and a suspended
+/// `TxFuture` watch the same stripe. The committer waits until *both* are
+/// registered (single TVar → one bucket → the runtime's waiter count is
+/// exact), then commits once; the thread must return and the future must
+/// receive its waker.
+#[test]
+fn one_commit_wakes_a_parked_thread_and_a_suspended_future() {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::task::{Context, Poll, Wake, Waker};
+
+    #[derive(Default)]
+    struct CountingWaker(AtomicU64);
+    impl Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    let rt = hang_on_lost_wakeup_runtime();
+    let gate: TVar<u64> = TVar::new(0);
+
+    // Future side, suspended by hand.
+    let counter = Arc::new(CountingWaker::default());
+    let waker = Waker::from(Arc::clone(&counter));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = {
+        let gate = gate.clone();
+        atomically_async(&rt, move |tx| {
+            let v = tx.read(&gate)?;
+            if v == 0 {
+                return tx.retry();
+            }
+            Ok(v)
+        })
+    };
+    assert!(matches!(
+        Pin::new(&mut fut).poll(&mut cx),
+        std::task::Poll::Pending
+    ));
+    assert_eq!(rt.retry_waiters(), 1, "future registered");
+
+    // Thread side.
+    let parked = {
+        let rt = rt.clone();
+        let gate = gate.clone();
+        std::thread::spawn(move || {
+            rt.run(|tx| {
+                let v = tx.read(&gate)?;
+                if v == 0 {
+                    return tx.retry();
+                }
+                Ok(v)
+            })
+        })
+    };
+    while rt.retry_waiters() < 2 {
+        std::thread::yield_now();
+    }
+
+    // One commit, both waiters.
+    rt.run(|tx| tx.write(&gate, 5));
+    assert_eq!(parked.join().unwrap(), 5, "the thread waiter resumed");
+    assert_eq!(counter.0.load(Ordering::SeqCst), 1, "the future was woken");
+    assert!(matches!(Pin::new(&mut fut).poll(&mut cx), Poll::Ready(5)));
+
+    let stats = rt.retry_stats();
+    assert!(stats.threads_woken >= 1, "futex wake delivered: {stats:?}");
+    assert!(stats.tasks_woken >= 1, "waker delivered: {stats:?}");
+    assert_eq!(rt.retry_waiters(), 0, "both registrations cleaned up");
+}
+
+/// The counter lost-wakeup hammer with a mixed consumer population: half
+/// the consumers are OS threads parked in `Tx::retry`, half are futures on
+/// the vendored thread-pool executor, all on the same stripe buckets. The
+/// thread half hangs on its 120 s deadline if a wake is lost; the future
+/// half (wake-driven only, no deadline) hangs the final channel recv.
+#[test]
+fn mixed_thread_and_future_consumers_lose_no_wakeups() {
+    let producers = 2 * stress_factor();
+    let thread_consumers = 2 * stress_factor();
+    let future_consumers = 2 * stress_factor();
+    let increments_per_producer = 150 * stress_factor() as u64;
+    let target = producers as u64 * increments_per_producer;
+
+    let rt = hang_on_lost_wakeup_runtime();
+    let counter: TVar<u64> = TVar::new(0);
+    let pool = futures::executor::ThreadPool::builder()
+        .pool_size(2)
+        .name_prefix("interop-")
+        .create()
+        .expect("spawn executor");
+
+    let thread_handles: Vec<_> = (0..thread_consumers)
+        .map(|_| {
+            let rt = rt.clone();
+            let counter = counter.clone();
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                while seen != target {
+                    let now = rt.run(|tx| {
+                        let v = tx.read(&counter)?;
+                        if v <= seen {
+                            return tx.retry();
+                        }
+                        Ok(v)
+                    });
+                    assert!(now > seen);
+                    seen = now;
+                }
+            })
+        })
+        .collect();
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<u64>();
+    for _ in 0..future_consumers {
+        let rt = rt.clone();
+        let counter = counter.clone();
+        let done = done_tx.clone();
+        pool.spawn_ok(async move {
+            let mut seen = 0u64;
+            let mut wakes = 0u64;
+            while seen != target {
+                let counter = counter.clone();
+                let floor = seen;
+                let now = atomically_async(&rt, move |tx| {
+                    let v = tx.read(&counter)?;
+                    if v <= floor {
+                        return tx.retry();
+                    }
+                    Ok(v)
+                })
+                .await;
+                assert!(now > seen);
+                seen = now;
+                wakes += 1;
+            }
+            done.send(wakes).expect("main thread waits on the channel");
+        });
+    }
+    drop(done_tx);
+
+    let producer_handles: Vec<_> = (0..producers)
+        .map(|_| {
+            let rt = rt.clone();
+            let counter = counter.clone();
+            std::thread::spawn(move || {
+                for i in 0..increments_per_producer {
+                    rt.run(|tx| tx.modify(&counter, |v| v + 1));
+                    if i % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for h in producer_handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.snapshot(), target);
+    for h in thread_handles {
+        h.join().unwrap();
+    }
+    for _ in 0..future_consumers {
+        let wakes = done_rx.recv().expect("every async consumer finishes");
+        assert!(wakes > 0, "each async consumer must have blocked");
+    }
+
+    let stats = rt.retry_stats();
+    assert!(stats.parked_waits > 0, "threads parked: {stats:?}");
+    assert!(stats.async_parks > 0, "futures suspended: {stats:?}");
+    assert_eq!(stats.timed_out, 0, "a deadline hit is a lost wakeup");
+    assert_eq!(rt.retry_waiters(), 0, "waitlist fully drained: {stats:?}");
+}

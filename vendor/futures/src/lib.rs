@@ -1,0 +1,25 @@
+//! Offline stand-in for the `futures` crate — executors only.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendor crate provides the minimal executor subset the workspace uses to
+//! drive [`shrink-stm`'s `TxFuture`](../shrink_stm/future/index.html):
+//!
+//! * [`executor::block_on`] — drive one future on the calling thread,
+//!   sleeping on a [`parking_lot::EventCount`] between polls;
+//! * [`executor::ThreadPool`] / [`executor::ThreadPoolBuilder`] — a
+//!   fixed-size pool (no work stealing: one shared injector queue) with
+//!   the same construction and `spawn_ok` surface as
+//!   `futures::executor::ThreadPool`, so call sites survive a swap to the
+//!   real crate unchanged.
+//!
+//! No combinators, no streams, no `async`-aware channels: transaction
+//! bodies run synchronously inside `poll`, so the workspace never awaits
+//! anything but top-level task completion.
+//!
+//! Swap this directory for the real crate once the registry is reachable;
+//! call sites need no changes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod executor;
