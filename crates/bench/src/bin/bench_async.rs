@@ -144,6 +144,7 @@ fn async_population(consumers: u64, records: &mut Vec<Record>) -> PopulationOutc
         wasted_per_op: None,
         bytes_per_op: Some(bytes_per_consumer),
         wall_s: suspend_wall_s,
+        ..Record::default()
     });
     println!(
         "{:>20}/{WORKERS}  {:>10}  {:>12.0} consumers/s drained \
@@ -164,6 +165,7 @@ fn async_population(consumers: u64, records: &mut Vec<Record>) -> PopulationOutc
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: drain_wall_s,
+        ..Record::default()
     });
 
     PopulationOutcome {
@@ -232,6 +234,7 @@ fn thread_population(threads: u64, records: &mut Vec<Record>) -> PopulationOutco
         wasted_per_op: None,
         bytes_per_op: Some(bytes_per_consumer),
         wall_s: suspend_wall_s,
+        ..Record::default()
     });
     println!(
         "{:>20}/{threads}  {:>10}  {:>12.0} consumers/s drained ({drain_wall_s:.3}s commit→last)",
@@ -250,6 +253,7 @@ fn thread_population(threads: u64, records: &mut Vec<Record>) -> PopulationOutco
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: drain_wall_s,
+        ..Record::default()
     });
 
     PopulationOutcome {
@@ -317,6 +321,7 @@ fn wake_latency_async(rounds: u32, records: &mut Vec<Record>) -> f64 {
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     med
 }
@@ -368,6 +373,7 @@ fn wake_latency_thread(rounds: u32, records: &mut Vec<Record>) -> f64 {
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     med
 }

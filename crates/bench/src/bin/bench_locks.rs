@@ -86,6 +86,7 @@ fn uncontended(name: &str, iters: u64, lock: &dyn Lockable, records: &mut Vec<Re
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
 }
 
@@ -190,6 +191,7 @@ fn convoy(
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     ConvoyOutcome {
         ops_per_s,
@@ -271,6 +273,7 @@ fn overload_stm(
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     OverloadOutcome {
         ops_per_s,

@@ -69,6 +69,7 @@ fn probe(
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     med
 }
@@ -187,6 +188,7 @@ fn scan_cell(
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: started.elapsed().as_secs_f64(),
+        ..Record::default()
     });
     med
 }

@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::SeedableRng;
-use shrink_bench::perf::{median, with_cpu_and_switches, write_json, Record};
+use shrink_bench::perf::{median, with_cpu_and_switches, write_json, LatencyHistogram, Record};
 use shrink_bench::{shape, BenchOpts};
 use shrink_stm::{TVar, TmRuntime};
 use shrink_workloads::queue::{QueueMode, QueueWorkload};
@@ -100,25 +100,33 @@ fn wake_latency_parked(rounds: u32, records: &mut Vec<Record>) -> f64 {
     let wall = started.elapsed().as_secs_f64();
     state.store(QUIT, Ordering::SeqCst);
     consumer.join().unwrap();
+    let hist = LatencyHistogram::new();
+    for &s in &samples {
+        hist.record(s as u64);
+    }
     let med = median(&mut samples);
     let stats = rt.retry_stats();
     println!(
-        "{:>20}/1  {:>10}  {med:>10.0} ns commit→resume (median of {rounds}; \
+        "{:>20}/1  {:>10}  {med:>10.0} ns commit→resume (p99 {:.0} ns, {rounds} rounds; \
          {} parked, {} woken, {} wasted wakes)",
-        "retry_wake_latency", "parked", stats.parked_waits, stats.woken, stats.wasted_wakes
+        "retry_wake_latency",
+        "parked",
+        hist.percentile(99.0).unwrap_or(f64::NAN),
+        stats.parked_waits,
+        stats.woken,
+        stats.wasted_wakes
     );
-    records.push(Record {
+    let mut record = Record {
         name: "retry_wake_latency/1/parked".into(),
         threads: 1,
         ops_per_s: rounds as f64 / wall,
         ns_per_op: Some(med),
-        cpu_util: None,
-        victim_ops_per_s: None,
-        ctxt_per_op: None,
         wasted_per_op: Some(stats.wasted_wakes as f64 / rounds as f64),
-        bytes_per_op: None,
         wall_s: wall,
-    });
+        ..Record::default()
+    };
+    hist.fill_record(&mut record);
+    records.push(record);
     med
 }
 
@@ -176,25 +184,29 @@ fn wake_latency_spin(rounds: u32, records: &mut Vec<Record>) -> (f64, f64) {
     let wall = started.elapsed().as_secs_f64();
     state.store(QUIT, Ordering::SeqCst);
     consumer.join().unwrap();
+    let hist = LatencyHistogram::new();
+    for &s in &samples {
+        hist.record(s as u64);
+    }
     let med = median(&mut samples);
     let polls = yields.load(Ordering::Relaxed) as f64 / rounds as f64;
     println!(
-        "{:>20}/1  {:>10}  {med:>10.0} ns commit→resume (median of {rounds}; \
+        "{:>20}/1  {:>10}  {med:>10.0} ns commit→resume (p99 {:.0} ns, {rounds} rounds; \
          {polls:.1} yield-polls/round)",
-        "retry_wake_latency", "spin_poll"
+        "retry_wake_latency",
+        "spin_poll",
+        hist.percentile(99.0).unwrap_or(f64::NAN)
     );
-    records.push(Record {
+    let mut record = Record {
         name: "retry_wake_latency/1/spin_poll".into(),
         threads: 1,
         ops_per_s: rounds as f64 / wall,
         ns_per_op: Some(med),
-        cpu_util: None,
-        victim_ops_per_s: None,
-        ctxt_per_op: None,
-        wasted_per_op: None,
-        bytes_per_op: None,
         wall_s: wall,
-    });
+        ..Record::default()
+    };
+    hist.fill_record(&mut record);
+    records.push(record);
     (med, polls)
 }
 
@@ -253,6 +265,7 @@ fn unrelated_commits(commits: u64, records: &mut Vec<Record>) -> f64 {
         wasted_per_op: Some(per_commit),
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     per_commit
 }
@@ -345,6 +358,7 @@ fn mpmc(
         wasted_per_op: (items > 0).then_some(wasted as f64 / items as f64),
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     outcome
 }

@@ -110,6 +110,7 @@ fn wake_latency(name: &str, parked: bool, rounds: u32, records: &mut Vec<Record>
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     med
 }
@@ -149,6 +150,7 @@ fn wasted_quiet(advances: u64, records: &mut Vec<Record>) -> f64 {
         wasted_per_op: Some(per_op),
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     per_op
 }
@@ -219,6 +221,7 @@ fn wasted_churn(waiters: usize, advances: u64, records: &mut Vec<Record>) -> f64
         wasted_per_op: Some(per_op),
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     per_op
 }
@@ -296,6 +299,7 @@ fn serializer_convoy(
         wasted_per_op: None,
         bytes_per_op: None,
         wall_s: wall,
+        ..Record::default()
     });
     ConvoyOutcome {
         commits_per_s,

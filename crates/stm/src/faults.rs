@@ -86,6 +86,12 @@ pub enum FaultSite {
     EpochAdvance = 12,
     /// Thread exit retiring its epoch slot (runs in a TLS destructor).
     EpochRetire = 13,
+    /// A cross-runtime select about to register one parker on several
+    /// runtimes' waitlists, before any bucket is touched.
+    RegistryRegister = 14,
+    /// The select's park point, inside the registered-but-not-deregistered
+    /// window (spurious wake here skips the park as if a commit fired).
+    RegistryWake = 15,
 }
 
 /// What an active schedule may inject at a site.
@@ -139,7 +145,7 @@ impl fmt::Display for FaultKind {
 
 impl FaultSite {
     /// Every instrumented site, in catalog order.
-    pub const ALL: [FaultSite; 14] = [
+    pub const ALL: [FaultSite; 16] = [
         FaultSite::OrecAcquire,
         FaultSite::OrecRelease,
         FaultSite::CommitInstall,
@@ -154,6 +160,8 @@ impl FaultSite {
         FaultSite::EventWake,
         FaultSite::EpochAdvance,
         FaultSite::EpochRetire,
+        FaultSite::RegistryRegister,
+        FaultSite::RegistryWake,
     ];
 
     #[cfg_attr(not(feature = "faults"), allow(dead_code))]
@@ -174,8 +182,8 @@ impl FaultSite {
         match self {
             FaultSite::OrecAcquire | FaultSite::CommitInstall => D | A | P,
             FaultSite::OrecRelease | FaultSite::EventWake => D,
-            FaultSite::WaitRegister | FaultSite::WaitWake => D | P,
-            FaultSite::WaitValidate | FaultSite::EventPark => D | W,
+            FaultSite::WaitRegister | FaultSite::WaitWake | FaultSite::RegistryRegister => D | P,
+            FaultSite::WaitValidate | FaultSite::EventPark | FaultSite::RegistryWake => D | W,
             FaultSite::SchedBeforeStart
             | FaultSite::SchedOnCommit
             | FaultSite::SchedOnAbort
@@ -206,6 +214,8 @@ impl FaultSite {
             FaultSite::EventWake => "event_wake",
             FaultSite::EpochAdvance => "epoch_advance",
             FaultSite::EpochRetire => "epoch_retire",
+            FaultSite::RegistryRegister => "registry_register",
+            FaultSite::RegistryWake => "registry_wake",
         }
     }
 
@@ -574,7 +584,7 @@ mod tests {
                 assert_ne!(a.name(), b.name());
             }
         }
-        assert_eq!(FaultSite::ALL.len(), 14);
+        assert_eq!(FaultSite::ALL.len(), 16);
     }
 
     #[test]
@@ -590,9 +600,13 @@ mod tests {
             assert!(!site.allows(FaultKind::SpuriousAbort), "{site}");
         }
         // The registered-but-not-yet-deregistered window tolerates wakes
-        // only — a panic there would leak a waitlist registration.
+        // only — a panic there would leak a waitlist registration. The
+        // cross-runtime select has the same two-phase shape.
         assert!(FaultSite::WaitValidate.allows(FaultKind::SpuriousWake));
         assert!(!FaultSite::WaitValidate.allows(FaultKind::Panic));
+        assert!(FaultSite::RegistryRegister.allows(FaultKind::Panic));
+        assert!(FaultSite::RegistryWake.allows(FaultKind::SpuriousWake));
+        assert!(!FaultSite::RegistryWake.allows(FaultKind::Panic));
         // Full menu where nothing is published yet.
         assert!(FaultSite::CommitInstall.allows(FaultKind::Panic));
         assert!(FaultSite::CommitInstall.allows(FaultKind::SpuriousAbort));

@@ -32,7 +32,13 @@
 //!   same synchronous bodies run as futures — a blocked [`Tx::retry`]
 //!   suspends the task with a `Waker`-backed parker on the same per-stripe
 //!   waitlists instead of parking a thread, so 100k+ blocked consumers fit
-//!   on a handful of executor workers (DESIGN.md §12).
+//!   on a handful of executor workers (DESIGN.md §12);
+//! * cross-runtime blocking ([`retry_select`] and the [`registry`]
+//!   module): every runtime is published in a process-global registry, and
+//!   a select over arms bound to *different* runtimes parks one parker
+//!   across all their waitlists — the deliberate-sharing counterpart of
+//!   the accidental-sharing [`TmError::ForeignTVar`] refusal
+//!   (DESIGN.md §13).
 //!
 //! ## Quick start
 //!
@@ -79,6 +85,7 @@ pub mod error;
 pub mod faults;
 pub mod future;
 pub mod orec;
+pub mod registry;
 pub mod runtime;
 pub mod sched;
 pub mod stats;
@@ -95,6 +102,9 @@ pub use epoch::{AttemptEpochs, EpochTable, EpochWaitOutcome, NoEpochs};
 pub use error::{Abort, AbortReason, TmError, TxResult};
 pub use faults::{FaultKind, FaultSite};
 pub use future::{atomically_async, TxFuture};
+pub use registry::{
+    lookup_runtime, retry_select, retry_select_deadline, select_stats, SelectArm, SelectStats,
+};
 pub use runtime::{atomically, quiesce, TmBuilder, TmRuntime};
 pub use sched::{NoopScheduler, SchedCtx, TxScheduler};
 pub use stats::{ThreadStats, TmStats};

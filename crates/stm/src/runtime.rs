@@ -54,6 +54,28 @@ pub(crate) struct RuntimeInner {
     pub(crate) retry_waits: StripeWaitlist,
 }
 
+impl Drop for RuntimeInner {
+    fn drop(&mut self) {
+        // The last handle is gone: remove the process-global registry entry
+        // so `registry::lookup` stops resolving this id. (The entry holds a
+        // Weak, so lookups already failed to upgrade; this reclaims the
+        // slot.)
+        crate::registry::deregister_runtime(self.id);
+    }
+}
+
+/// How [`run_until_block`](TmRuntime::run_until_block) left the
+/// transaction: committed with a value, or rolled back at a deliberate
+/// [`Tx::retry`] with the wait plan it would have parked on.
+pub(crate) enum BlockOutcome<T> {
+    /// An attempt committed.
+    Committed(T),
+    /// The body retried: the deduplicated `(stripe, observed version)`
+    /// pairs of the attempt's read set — what a commit must touch to make
+    /// re-running worthwhile.
+    Blocked(Vec<(usize, u64)>),
+}
+
 /// RAII bracket around one transaction attempt.
 ///
 /// Armed before the scheduler's `before_start` hook and disarmed by
@@ -253,17 +275,19 @@ impl TmBuilder {
     pub fn build(self) -> TmRuntime {
         let orecs = OrecTable::new(self.config.orec_table_size);
         let retry_waits = StripeWaitlist::new(orecs.len());
-        TmRuntime {
-            inner: Arc::new(RuntimeInner {
-                id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
-                orecs,
-                retry_waits,
-                clock: GlobalClock::new(),
-                registry: ThreadRegistry::new(),
-                scheduler: self.scheduler,
-                config: self.config,
-            }),
-        }
+        let inner = Arc::new(RuntimeInner {
+            id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
+            orecs,
+            retry_waits,
+            clock: GlobalClock::new(),
+            registry: ThreadRegistry::new(),
+            scheduler: self.scheduler,
+            config: self.config,
+        });
+        // Publish the runtime in the process-global registry so
+        // `registry::lookup` and cross-runtime selects can reach it by id.
+        crate::registry::register_runtime(&inner);
+        TmRuntime { inner }
     }
 }
 
@@ -602,6 +626,91 @@ impl TmRuntime {
                     }
                     restarts = restarts.saturating_add(1);
                     pause(inner.config.wait_policy, restarts);
+                }
+            }
+        }
+    }
+
+    /// Runs `body` until it either commits or deliberately blocks — the
+    /// building block of the cross-runtime select
+    /// ([`registry::retry_select`](crate::registry::retry_select)).
+    ///
+    /// Identical to one iteration class of [`run_attempts`]: conflict
+    /// aborts re-run internally with the usual backoff and every scheduler
+    /// hook fires exactly as in [`run`](TmRuntime::run). The difference is
+    /// the `Retry` branch: instead of parking on this runtime's waitlist,
+    /// the rolled-back attempt's wait plan is handed to the caller, who
+    /// parks one parker across *several* runtimes' waitlists.
+    ///
+    /// [`run_attempts`]: TmRuntime::run_attempts
+    pub(crate) fn run_until_block<T>(
+        &self,
+        body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> Result<BlockOutcome<T>, TmError> {
+        let ctx = self.current_ctx();
+        let inner = &*self.inner;
+        let mut consecutive_aborts: u32 = 0;
+        loop {
+            let guard = AttemptGuard::new(inner, &ctx, TxnKind::ReadWrite);
+            inner.scheduler.before_start(&guard.sched_ctx());
+            let _ = crate::failpoint!(FaultSite::SchedBeforeStart);
+            let mut tx = Tx::begin(inner, &ctx);
+            let committed = match body(&mut tx) {
+                Ok(value) => tx.try_commit().map(|()| value),
+                Err(abort) => Err(abort),
+            };
+            match committed {
+                Ok(value) => {
+                    let (reads, writes) = tx.take_logs();
+                    drop(tx);
+                    ctx.commits.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .scheduler
+                        .on_commit(&guard.sched_ctx(), &reads, &writes);
+                    let _ = crate::failpoint!(FaultSite::SchedOnCommit);
+                    guard.complete();
+                    return Ok(BlockOutcome::Committed(value));
+                }
+                Err(abort) if abort.reason() == AbortReason::Retry => {
+                    tx.rollback();
+                    let wait_plan = tx.retry_wait_plan();
+                    let (reads, writes) = tx.take_logs();
+                    drop(tx);
+                    ctx.retry_waits.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .scheduler
+                        .on_retry_wait(&guard.sched_ctx(), &reads, &writes);
+                    let _ = crate::failpoint!(FaultSite::SchedOnRetryWait);
+                    guard.complete();
+                    return Ok(BlockOutcome::Blocked(wait_plan));
+                }
+                Err(abort) if abort.reason() == AbortReason::ForeignTVar => {
+                    tx.rollback();
+                    let info = tx.foreign_access().expect("foreign abort carries details");
+                    drop(tx);
+                    return Err(TmError::ForeignTVar {
+                        var: info.var,
+                        owner: info.owner,
+                        runtime: inner.id,
+                    });
+                }
+                Err(abort) => {
+                    tx.rollback();
+                    let (reads, writes) = tx.take_logs();
+                    drop(tx);
+                    ctx.aborts.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .scheduler
+                        .on_abort(&guard.sched_ctx(), &abort, &reads, &writes);
+                    let _ = crate::failpoint!(FaultSite::SchedOnAbort);
+                    guard.complete();
+                    consecutive_aborts += 1;
+                    retry_backoff(
+                        inner.config.wait_policy,
+                        consecutive_aborts,
+                        inner.config.backoff_ceiling,
+                        ctx.id().as_u16() as u64,
+                    );
                 }
             }
         }

@@ -303,8 +303,9 @@ impl StripeWaitlist {
 
     /// True if some watched stripe moved past its observed version (or is
     /// mid-install): the retrying transaction's snapshot is stale and it
-    /// should re-run rather than sleep.
-    fn changed(orecs: &OrecTable, plan: &[(usize, u64)]) -> bool {
+    /// should re-run rather than sleep. Crate-visible because the
+    /// cross-runtime select registry revalidates with the same predicate.
+    pub(crate) fn changed(orecs: &OrecTable, plan: &[(usize, u64)]) -> bool {
         plan.iter().any(|&(idx, version)| {
             let snap = orecs.at(idx).snapshot();
             snap.version() != version || snap.committing()
@@ -326,12 +327,7 @@ impl StripeWaitlist {
         // cannot leak a registration.
         let _ = crate::failpoint!(FaultSite::WaitRegister);
         let observed = parker.version();
-        let buckets = self.bucket_set(plan);
-        for &b in &buckets {
-            let bucket = &self.buckets[b];
-            bucket.waiters.fetch_add(1, Ordering::SeqCst);
-            bucket.list.lock().push(Parker::Thread(Arc::clone(parker)));
-        }
+        let buckets = self.register_thread(plan, parker);
         // Pairs with the fence in `notify_commit`: a committer either sees
         // the registration above, or this validation sees its version
         // stamps. Without it both sides could read stale state and the wake
@@ -361,7 +357,38 @@ impl StripeWaitlist {
                 }
             }
         };
+        self.deregister_thread(&buckets, parker);
+        outcome
+    }
+
+    /// Registers a thread parker on the buckets of `plan` without
+    /// validating or parking — the building block [`wait`](Self::wait) and
+    /// the cross-runtime select registry share. Returns the deduplicated
+    /// bucket indices holding the registration; the caller owns the rest of
+    /// the lost-wakeup protocol (`SeqCst` fence, validate via
+    /// [`changed`](Self::changed), park, then
+    /// [`deregister_thread`](Self::deregister_thread) with the same
+    /// buckets).
+    pub(crate) fn register_thread(
+        &self,
+        plan: &[(usize, u64)],
+        parker: &Arc<EventCount>,
+    ) -> Vec<usize> {
+        let buckets = self.bucket_set(plan);
         for &b in &buckets {
+            let bucket = &self.buckets[b];
+            bucket.waiters.fetch_add(1, Ordering::SeqCst);
+            bucket.list.lock().push(Parker::Thread(Arc::clone(parker)));
+        }
+        buckets
+    }
+
+    /// Removes a thread parker from `buckets` (as returned by
+    /// [`register_thread`](Self::register_thread)). Removal is by pointer
+    /// identity, so deregistering after a concurrent commit already woke
+    /// the parker is harmless.
+    pub(crate) fn deregister_thread(&self, buckets: &[usize], parker: &Arc<EventCount>) {
+        for &b in buckets {
             let bucket = &self.buckets[b];
             {
                 let mut list = bucket.list.lock();
@@ -371,7 +398,6 @@ impl StripeWaitlist {
             }
             bucket.waiters.fetch_sub(1, Ordering::SeqCst);
         }
-        outcome
     }
 
     /// The deduplicated wait-bucket indices of a retry plan.

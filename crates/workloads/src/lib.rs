@@ -15,7 +15,12 @@
 //!   on the composable `retry`/`or_else` API (DESIGN.md §9), including the
 //!   spin-retry baseline `bench_retry` measures against;
 //! * [`harness`] — the time-boxed committed-tx/s measurement used by every
-//!   figure.
+//!   figure;
+//! * [`service`] — the production-shaped scenario: a sharded transactional
+//!   KV/booking store (one runtime per shard, four-phase escrow transfers
+//!   with exact cross-shard conservation, cross-runtime booking selects)
+//!   under an open-loop Zipfian/bursty traffic generator that measures
+//!   latency from scheduled arrival (DESIGN.md §13).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -23,9 +28,14 @@
 pub mod harness;
 pub mod queue;
 pub mod rbtree;
+pub mod service;
 pub mod stamp;
 pub mod stmbench7;
 
 pub use harness::{run_fixed_steps, run_throughput, RunConfig, RunOutcome, TxWorkload};
 pub use queue::{AsyncQueueChurn, ChurnTask, QueueMode, QueueWorkload, TxQueue};
 pub use rbtree::{RbTreeWorkload, TxRbTree};
+pub use service::{
+    build_schedule, run_open_loop, BookingOutcome, Request, RequestKind, RequestMix, ShardedStore,
+    TrafficConfig, TrafficReport, TransferEntry,
+};

@@ -222,6 +222,118 @@ impl Rng for StdRng {
     }
 }
 
+/// Non-uniform distributions (the `rand_distr` API subset the workspace
+/// uses): Zipfian key popularity and exponential inter-arrival times, the
+/// two shapes an open-loop traffic generator needs.
+pub mod distr {
+    use super::{Rng, StdRng};
+
+    /// Types that can be sampled from a generator — the `rand_distr`
+    /// `Distribution` trait, monomorphized to [`StdRng`].
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> T;
+    }
+
+    /// The Zipfian distribution over `{1, …, n}`: element `k` has
+    /// probability proportional to `1 / k^s`. With `s ≈ 1` a handful of
+    /// keys absorb most of the traffic — the standard model for skewed
+    /// ("hot key") access popularity in KV workloads.
+    ///
+    /// Sampling inverts the exact cumulative distribution with a binary
+    /// search over a precomputed table: `O(n)` memory once, `O(log n)` per
+    /// draw, no rejection loop and no approximation.
+    #[derive(Clone, Debug)]
+    pub struct Zipf {
+        cdf: Vec<f64>,
+    }
+
+    impl Zipf {
+        /// A Zipfian over `{1, …, n}` with exponent `s`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n == 0` or `s` is negative or non-finite.
+        pub fn new(n: usize, s: f64) -> Self {
+            assert!(n > 0, "Zipf needs a non-empty support");
+            assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite");
+            let mut cdf = Vec::with_capacity(n);
+            let mut total = 0.0f64;
+            for k in 1..=n {
+                total += (k as f64).powf(-s);
+                cdf.push(total);
+            }
+            for c in &mut cdf {
+                *c /= total;
+            }
+            Zipf { cdf }
+        }
+
+        /// Size of the support.
+        pub fn n(&self) -> usize {
+            self.cdf.len()
+        }
+
+        /// Probability of rank `k` (1-based).
+        pub fn pmf(&self, k: usize) -> f64 {
+            assert!((1..=self.cdf.len()).contains(&k), "rank out of support");
+            if k == 1 {
+                self.cdf[0]
+            } else {
+                self.cdf[k - 1] - self.cdf[k - 2]
+            }
+        }
+    }
+
+    impl Distribution<usize> for Zipf {
+        /// Draws a 1-based rank in `{1, …, n}`.
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            let u: f64 = rng.random();
+            // First index whose cumulative mass covers u.
+            self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) + 1
+        }
+    }
+
+    /// The exponential distribution with rate `lambda`: the inter-arrival
+    /// time of a Poisson process offering `lambda` events per time unit —
+    /// what an open-loop traffic generator draws between request arrivals.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// An exponential with rate `lambda` (mean `1 / lambda`).
+        ///
+        /// # Panics
+        ///
+        /// Panics unless `lambda` is positive and finite.
+        pub fn new(lambda: f64) -> Self {
+            assert!(
+                lambda > 0.0 && lambda.is_finite(),
+                "Exp rate must be positive and finite"
+            );
+            Exp { lambda }
+        }
+
+        /// The distribution mean, `1 / lambda`.
+        pub fn mean(&self) -> f64 {
+            1.0 / self.lambda
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        /// Draws an inter-arrival time by inverse transform:
+        /// `-ln(1 - u) / lambda`.
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            let u: f64 = rng.random();
+            // u ∈ [0, 1): 1 - u ∈ (0, 1], so ln is finite and the sample
+            // non-negative.
+            -(1.0 - u).ln() / self.lambda
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +387,114 @@ mod tests {
         let a: u64 = rng.random();
         let b: u64 = rng.random();
         assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod distr_tests {
+    use super::distr::{Distribution, Exp, Zipf};
+    use super::{SeedableRng, StdRng};
+
+    #[test]
+    fn zipf_rank_ratio_matches_exponent() {
+        // Under s = 1 the two hottest ranks should see hits in ratio ≈ 2.
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 4];
+        const DRAWS: usize = 200_000;
+        for _ in 0..DRAWS {
+            let k = z.sample(&mut rng);
+            assert!((1..=1000).contains(&k), "rank {k} out of support");
+            if k <= 4 {
+                counts[k - 1] += 1;
+            }
+        }
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.8..2.2).contains(&ratio), "p(1)/p(2) = {ratio}, want ≈ 2");
+        // Hot head: with n=1000, s=1 the top-4 carry ~28% of the mass.
+        let head = counts.iter().sum::<usize>() as f64 / DRAWS as f64;
+        assert!(
+            (0.24..0.33).contains(&head),
+            "top-4 mass = {head}, want ≈ 0.28"
+        );
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(8, 0.0);
+        for k in 1..=8 {
+            let p = z.pmf(k);
+            assert!((p - 0.125).abs() < 1e-12, "pmf({k}) = {p}");
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (9_000..11_000).contains(&c),
+                "uniform rank {} got {c}/80000",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_decreasing() {
+        let z = Zipf::new(100, 0.8);
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for k in 1..=100 {
+            let p = z.pmf(k);
+            assert!(p > 0.0 && p <= prev, "pmf not decreasing at rank {k}");
+            prev = p;
+            total += p;
+        }
+        assert!((total - 1.0).abs() < 1e-9, "pmf total = {total}");
+    }
+
+    #[test]
+    fn exp_mean_and_tail_shape() {
+        let lambda = 4.0;
+        let e = Exp::new(lambda);
+        let mut rng = StdRng::seed_from_u64(20260808);
+        const DRAWS: usize = 200_000;
+        let mut sum = 0.0;
+        let mut over_mean = 0usize;
+        for _ in 0..DRAWS {
+            let x = e.sample(&mut rng);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+            if x > e.mean() {
+                over_mean += 1;
+            }
+        }
+        let mean = sum / DRAWS as f64;
+        assert!(
+            (mean - e.mean()).abs() < 0.01 * e.mean(),
+            "sample mean {mean}, want ≈ {}",
+            e.mean()
+        );
+        // Memoryless tail: P[X > 1/λ] = e^-1 ≈ 0.368.
+        let frac = over_mean as f64 / DRAWS as f64;
+        assert!(
+            (0.35..0.39).contains(&frac),
+            "P[X > mean] = {frac}, want ≈ 0.368"
+        );
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_a_seed() {
+        let z = Zipf::new(64, 1.2);
+        let e = Exp::new(0.5);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ks: Vec<usize> = (0..16).map(|_| z.sample(&mut rng)).collect();
+            let xs: Vec<f64> = (0..16).map(|_| e.sample(&mut rng)).collect();
+            (ks, xs)
+        };
+        assert_eq!(draw(11), draw(11));
+        assert_ne!(draw(11).0, draw(12).0);
     }
 }
